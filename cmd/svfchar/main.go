@@ -1,0 +1,123 @@
+// Command svfchar reproduces the paper's workload characterisation
+// (Figures 1-3) and can dump the raw Figure 2 stack-depth series.
+//
+// Usage:
+//
+//	svfchar -fig 1                  # region/method breakdown
+//	svfchar -fig 2                  # stack-depth summary
+//	svfchar -fig 2 -series 186.crafty.ref > crafty.csv
+//	svfchar -fig 3                  # offset-from-TOS CDF
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"svf/internal/experiments"
+	"svf/internal/regions"
+	"svf/internal/synth"
+)
+
+func main() {
+	fig := flag.Int("fig", 1, "figure to reproduce (1, 2 or 3)")
+	insts := flag.Int("insts", 2_000_000, "instructions to characterise per benchmark")
+	series := flag.String("series", "", "dump one benchmark's Figure 2 depth series as CSV (benchmark id)")
+	verify := flag.Bool("verify", false, "check every profile's achieved mix against its calibration targets")
+	flag.Parse()
+
+	cfg := experiments.Config{TrafficInsts: *insts}
+
+	if *verify {
+		verifyProfiles(*insts)
+		return
+	}
+
+	if *series != "" {
+		prof := synth.ByName(*series)
+		if prof == nil {
+			fmt.Fprintf(os.Stderr, "svfchar: unknown benchmark %q\n", *series)
+			os.Exit(2)
+		}
+		cfg.Benchmarks = []*synth.Profile{prof}
+		r, err := experiments.Fig2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		s := r.Series[0]
+		fmt.Println("instruction,depth_words")
+		for i := range s.X {
+			fmt.Printf("%d,%d\n", s.X[i], s.Y[i])
+		}
+		return
+	}
+
+	switch *fig {
+	case 1:
+		r, err := experiments.Fig1(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 1: Run-time memory access distribution (fractions of memory references)")
+		fmt.Print(r.Table())
+	case 2:
+		r, err := experiments.Fig2(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 2: Stack depth variation (use -series <bench> for the raw curve)")
+		fmt.Print(r.Table())
+	case 3:
+		r, err := experiments.Fig3(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println("Figure 3: Offset locality within a function (cumulative fractions)")
+		fmt.Print(r.Table())
+	default:
+		fmt.Fprintf(os.Stderr, "svfchar: unknown figure %d\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "svfchar: %v\n", err)
+	os.Exit(1)
+}
+
+// verifyProfiles re-measures every bundled profile against its calibration
+// targets and prints a PASS/FAIL report — the tool to run after editing a
+// profile or defining a new one.
+func verifyProfiles(insts int) {
+	fmt.Printf("%-22s %18s %18s %14s %8s\n", "benchmark", "mem/inst (tgt)", "stack frac (tgt)", "max depth", "verdict")
+	failed := 0
+	for _, prof := range synth.Benchmarks() {
+		g, err := synth.NewGenerator(prof)
+		if err != nil {
+			fatal(err)
+		}
+		c := synth.Characterize(g, regions.DefaultLayout(), insts)
+		memOK := abs(c.MemFrac()-prof.MemFrac) <= 0.08
+		stackOK := abs(c.StackFrac()-prof.StackFrac) <= 0.12
+		depthOK := c.MaxDepthWords >= uint64(prof.DepthTypicalWords)/2 &&
+			c.MaxDepthWords <= uint64(float64(prof.DepthBurstWords)*1.3)
+		verdict := "PASS"
+		if !memOK || !stackOK || !depthOK {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-22s %8.2f (%5.2f) %9.2f (%5.2f) %14d %8s\n",
+			prof.ID(), c.MemFrac(), prof.MemFrac, c.StackFrac(), prof.StackFrac, c.MaxDepthWords, verdict)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "svfchar: %d profile(s) out of calibration\n", failed)
+		os.Exit(1)
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,208 @@
+// Command svfexp reproduces the paper's tables and figures.
+//
+// Usage:
+//
+//	svfexp -exp all                 # every experiment
+//	svfexp -exp fig5,table3         # a subset
+//	svfexp -exp fig7 -insts 1000000 # bigger timing budget
+//
+// Experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 table3 table4.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"svf/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "comma-separated experiments (table1, table2, fig1..fig9, table3, table4, sweep, x86, rse, scorecard, all)")
+	insts := flag.Int("insts", 400_000, "instruction budget per timing run")
+	traffic := flag.Int("traffic", 2_000_000, "instruction budget per traffic run")
+	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
+	svgDir := flag.String("svg", "", "also render each figure as an SVG file into this directory")
+	htmlOut := flag.String("html", "", "write a single self-contained HTML report to this file")
+	flag.Parse()
+
+	var report experiments.ReportBuilder
+
+	writeSVG := func(c experiments.ChartSVG) {
+		report.AddChart(c)
+		if *svgDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: %v\n", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*svgDir, c.Name)
+		if err := os.WriteFile(path, []byte(c.SVG), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+
+	cfg := experiments.Config{MaxInsts: *insts, TrafficInsts: *traffic, Parallel: *parallel}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+
+	type expFn struct {
+		name  string
+		title string
+		run   func() (fmt.Stringer, error)
+	}
+	fns := []expFn{
+		{"table1", "Table 1: SPEC CPU2000 integer benchmark inventory", func() (fmt.Stringer, error) {
+			return experiments.Table1(), nil
+		}},
+		{"table2", "Table 2: Processor models", func() (fmt.Stringer, error) {
+			return experiments.Table2(), nil
+		}},
+		{"fig1", "Figure 1: Run-time memory access distribution", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig1(cfg)
+			if err != nil {
+				return nil, err
+			}
+			writeSVG(r.Chart())
+			return r.Table(), nil
+		}},
+		{"fig2", "Figure 2: Stack depth variation (summary; series in library API)", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig2(cfg)
+			if err != nil {
+				return nil, err
+			}
+			writeSVG(r.Chart())
+			return r.Table(), nil
+		}},
+		{"fig3", "Figure 3: Offset locality within a function", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig3(cfg)
+			if err != nil {
+				return nil, err
+			}
+			writeSVG(r.Chart())
+			return r.Table(), nil
+		}},
+		{"fig5", "Figure 5: Speedup of morphing all stack accesses (infinite SVF), %", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig5(cfg)
+			if err != nil {
+				return nil, err
+			}
+			writeSVG(r.Chart())
+			return r.Table(), nil
+		}},
+		{"fig6", "Figure 6: Progressive performance analysis (16-wide), %", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig6(cfg)
+			if err != nil {
+				return nil, err
+			}
+			writeSVG(r.Chart())
+			return r.Table(), nil
+		}},
+		{"fig7", "Figure 7: SVF vs stack cache vs baseline ports, % over (2+0)", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig7(cfg)
+			if err != nil {
+				return nil, err
+			}
+			writeSVG(r.Chart())
+			return r.Table(), nil
+		}},
+		{"fig8", "Figure 8: Breakdown of SVF reference types", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig8(cfg)
+			if err != nil {
+				return nil, err
+			}
+			writeSVG(r.Chart())
+			return r.Table(), nil
+		}},
+		{"fig9", "Figure 9: SVF speedups over baseline, %", func() (fmt.Stringer, error) {
+			r, err := experiments.Fig9(cfg)
+			if err != nil {
+				return nil, err
+			}
+			writeSVG(r.Chart())
+			return r.Table(), nil
+		}},
+		{"table3", "Table 3: Memory traffic, stack cache vs SVF (quadwords)", func() (fmt.Stringer, error) {
+			r, err := experiments.Table3(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"table4", "Table 4: Memory traffic on context switches (bytes/switch)", func() (fmt.Stringer, error) {
+			r, err := experiments.Table4(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"x86", "x86 extension (§7): partial-word flavour vs Alpha flavour under the SVF", func() (fmt.Stringer, error) {
+			r, err := experiments.X86(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"scorecard", "Reproduction scorecard: the paper's headline claims, graded", func() (fmt.Stringer, error) {
+			r, err := experiments.RunScorecard(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"rse", "Structure comparison: SVF vs stack cache vs register stack engine (§6)", func() (fmt.Stringer, error) {
+			r, err := experiments.RSE(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+		{"sweep", "Design-space sweep: SVF capacity x ports (mean over benchmarks)", func() (fmt.Stringer, error) {
+			r, err := experiments.Sweep(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), nil
+		}},
+	}
+
+	ran := 0
+	for _, f := range fns {
+		if (f.name == "sweep" || f.name == "x86" || f.name == "rse" || f.name == "scorecard") && !want[f.name] {
+			continue // opt-in: costly extension experiments
+		}
+		if !all && !want[f.name] {
+			continue
+		}
+		start := time.Now()
+		out, err := f.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: %s: %v\n", f.name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", f.name, f.title, time.Since(start).Seconds(), out)
+		report.AddSection(f.title, out.String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "svfexp: no experiment matched %q\n", *exp)
+		os.Exit(2)
+	}
+	if *htmlOut != "" {
+		if err := os.WriteFile(*htmlOut, []byte(report.Render()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *htmlOut)
+	}
+}

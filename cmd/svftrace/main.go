@@ -1,0 +1,168 @@
+// Command svftrace records, inspects and replays binary instruction
+// traces, decoupling workload generation from simulation (the classic
+// trace-driven workflow: generate once, simulate many configurations).
+//
+// Usage:
+//
+//	svftrace record -bench 186.crafty -insts 1000000 -o crafty.trc
+//	svftrace info crafty.trc
+//	svftrace replay -policy svf -stackports 2 crafty.trc
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"svf/internal/isa"
+	"svf/internal/pipeline"
+	"svf/internal/regions"
+	"svf/internal/sim"
+	"svf/internal/synth"
+	"svf/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "record":
+		record(os.Args[2:])
+	case "info":
+		info(os.Args[2:])
+	case "replay":
+		replay(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: svftrace record|info|replay [flags]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "svftrace: %v\n", err)
+	os.Exit(1)
+}
+
+func record(args []string) {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	bench := fs.String("bench", "186.crafty", "benchmark to record")
+	insts := fs.Int("insts", 1_000_000, "instructions to record")
+	out := fs.String("o", "trace.trc", "output file")
+	fs.Parse(args)
+
+	prof := synth.ByName(*bench)
+	if prof == nil {
+		fatal(fmt.Errorf("unknown benchmark %q", *bench))
+	}
+	insts64, err := synth.Trace(prof, *insts)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	if err := trace.Write(w, insts64); err != nil {
+		fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("recorded %d instructions of %s to %s\n", len(insts64), prof.ID(), *out)
+}
+
+func load(path string) []isa.Inst {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	insts, err := trace.Read(bufio.NewReader(f))
+	if err != nil {
+		fatal(err)
+	}
+	return insts
+}
+
+func info(args []string) {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("info needs a trace file"))
+	}
+	insts := load(fs.Arg(0))
+	layout := regions.DefaultLayout()
+
+	var kinds [isa.NumKinds]uint64
+	var mem, stack, sp uint64
+	for i := range insts {
+		in := &insts[i]
+		kinds[in.Kind]++
+		if in.IsMem() {
+			mem++
+			if layout.InStack(in.Addr) {
+				stack++
+				if in.SPRelative() {
+					sp++
+				}
+			}
+		}
+	}
+	fmt.Printf("instructions   %d\n", len(insts))
+	for k := isa.Kind(0); int(k) < isa.NumKinds; k++ {
+		if kinds[k] > 0 {
+			fmt.Printf("  %-8s %10d (%5.1f%%)\n", k, kinds[k], 100*float64(kinds[k])/float64(len(insts)))
+		}
+	}
+	if mem > 0 {
+		fmt.Printf("memory refs    %d (%.1f%% of instructions)\n", mem, 100*float64(mem)/float64(len(insts)))
+		fmt.Printf("stack refs     %d (%.1f%% of memory)\n", stack, 100*float64(stack)/float64(mem))
+		if stack > 0 {
+			fmt.Printf("$sp-relative   %d (%.1f%% of stack)\n", sp, 100*float64(sp)/float64(stack))
+		}
+	}
+}
+
+func replay(args []string) {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	policy := fs.String("policy", "baseline", "baseline, svf or stackcache")
+	dl1Ports := fs.Int("dl1ports", 2, "DL1 ports")
+	stackPorts := fs.Int("stackports", 2, "stack structure ports")
+	size := fs.Int("size", 8192, "stack structure bytes")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("replay needs a trace file"))
+	}
+	insts := load(fs.Arg(0))
+
+	opt := sim.Options{
+		DL1Ports:       *dl1Ports,
+		StackSizeBytes: *size,
+		StackPorts:     *stackPorts,
+		MaxInsts:       len(insts),
+	}
+	switch *policy {
+	case "baseline":
+		opt.Policy = pipeline.PolicyNone
+	case "svf":
+		opt.Policy = pipeline.PolicySVF
+	case "stackcache":
+		opt.Policy = pipeline.PolicyStackCache
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+	r, err := sim.RunStream(fs.Arg(0), trace.NewSliceStream(insts), opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("replayed %d instructions in %d cycles (IPC %.3f, policy %s)\n",
+		r.Pipe.Committed, r.Cycles(), r.IPC(), *policy)
+}

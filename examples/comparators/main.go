@@ -1,0 +1,65 @@
+// Comparators pits the three stack-optimising structures against each
+// other on one workload: the paper's Stack Value File, the decoupled stack
+// cache it evaluates against (§5.3), and the register-stack-engine
+// alternative its related work describes (§6). One table shows why the
+// non-architected, per-word-status SVF wins on every axis the paper
+// measures.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"svf"
+)
+
+func main() {
+	bench := flag.String("bench", "176.gcc", "benchmark to compare on")
+	insts := flag.Int("insts", 400_000, "instructions per timing run")
+	size := flag.Int("size", 8192, "structure capacity in bytes")
+	flag.Parse()
+
+	prof := svf.ByName(*bench)
+	if prof == nil {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+
+	base, err := svf.Run(prof, svf.Options{MaxInsts: *insts})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark %s, %d-byte structures, %d instructions\n\n", prof.ID(), *size, *insts)
+	fmt.Printf("%-22s %10s %12s %12s %14s\n", "structure", "speedup", "QW in", "QW out", "B/ctx-switch")
+
+	const ctxPeriod = 100_000
+	for _, c := range []struct {
+		name   string
+		policy svf.StackPolicy
+	}{
+		{"stack value file", svf.PolicySVF},
+		{"stack cache", svf.PolicyStackCache},
+		{"register stack", svf.PolicyRSE},
+	} {
+		r, err := svf.Run(prof, svf.Options{Policy: c.policy, StackSizeBytes: *size, StackPorts: 2, MaxInsts: *insts})
+		if err != nil {
+			log.Fatal(err)
+		}
+		in, out, ctxBytes, err := svf.StackTraffic(prof, c.policy, *size, 4**insts, ctxPeriod)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %9.1f%% %12d %12d %14d\n",
+			c.name, 100*(float64(base.Cycles())/float64(r.Cycles())-1), in, out, ctxBytes)
+	}
+
+	fmt.Println(`
+Why the SVF wins (the paper's §5.3 + §6 arguments, measured):
+  vs the stack cache:  no write-allocate line fills on frame allocation, no
+                       dead-line writebacks on return, per-word traffic.
+  vs register windows: demand-driven per-word fills instead of whole-frame
+                       underflows, dirty-only spills instead of whole-frame
+                       overflows, and only dirty words — not architectural
+                       state — move on a context switch.`)
+}

@@ -1,0 +1,74 @@
+// Customworkload shows how to define a synthetic program profile of your
+// own — here, a deeply recursive "interpreter" with a stack working set
+// that defeats an 8KB structure — characterise it (the paper's Figures
+// 1-3 methodology), and measure how much an SVF helps it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"svf"
+)
+
+func main() {
+	// Start from a bundled profile and reshape it. Every knob is
+	// documented on svf.Profile.
+	p := *svf.ByName("197.parser")
+	p.Name = "999.interp"
+	p.Input = "demo"
+	p.Seed = 4242
+
+	p.MemFrac = 0.45   // 45% of instructions touch memory
+	p.StackFrac = 0.70 // 70% of those touch the stack
+	p.SPFrac = 0.75    // mostly $sp-relative...
+	p.FPFrac = 0.05    // ...some through the frame pointer
+
+	p.FrameWordsMin, p.FrameWordsMax = 16, 48
+	p.DepthTypicalWords = 1400 // ~11KB working set: spills an 8KB window
+	p.DepthBurstWords = 2600
+	p.BurstProb = 0.2
+	p.RecurseFrac = 0.5 // heavily recursive
+
+	if err := p.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Characterise it the way the paper characterises SPECint2000.
+	c, err := svf.Characterize(&p, 1_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload %s\n", p.ID())
+	fmt.Printf("  memory refs / instruction   %.2f\n", c.MemFrac())
+	fmt.Printf("  stack share of memory refs  %.2f\n", c.StackFrac())
+	fmt.Printf("  max stack depth             %d words (%.1f KB)\n", c.MaxDepthWords, float64(c.MaxDepthWords)/128)
+	fmt.Printf("  mean offset from TOS        %.0f bytes\n", c.MeanOffsetBytes())
+	fmt.Printf("  refs within 8KB of TOS      %.1f%%\n", 100*c.Within8KB())
+	fmt.Println()
+
+	// How does SVF capacity matter for it? (The DESIGN.md capacity
+	// ablation, on a custom workload.)
+	const insts = 300_000
+	base, err := svf.Run(&p, svf.Options{MaxInsts: insts})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %d cycles (IPC %.2f)\n", base.Cycles(), base.IPC())
+	for _, kb := range []int{2, 4, 8, 16, 32} {
+		r, err := svf.Run(&p, svf.Options{
+			Policy:         svf.PolicySVF,
+			StackSizeBytes: kb << 10,
+			StackPorts:     2,
+			MaxInsts:       insts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%2dKB SVF: %d cycles (%+.1f%%), %d QW spilled, %d QW filled\n",
+			kb, r.Cycles(), 100*(float64(base.Cycles())/float64(r.Cycles())-1),
+			r.SVFQWOut, r.SVFQWIn)
+	}
+	fmt.Println("\nAn adequately sized SVF captures the whole working set; an undersized")
+	fmt.Println("one slides its window across the deep recursion and pays spill traffic.")
+}

@@ -1,0 +1,70 @@
+// Portsweep explores the paper's central design-space question (Figures 7
+// and 9): given a fixed transistor budget, is it better to add ports to
+// the first-level data cache or to bolt on a small Stack Value File?
+//
+// The sweep runs one benchmark across data-cache port counts with and
+// without an SVF and prints a configuration/IPC matrix.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"svf"
+)
+
+func main() {
+	bench := flag.String("bench", "253.perlbmk", "benchmark to sweep")
+	insts := flag.Int("insts", 400_000, "instructions per run")
+	flag.Parse()
+
+	prof := svf.ByName(*bench)
+	if prof == nil {
+		log.Fatalf("unknown benchmark %q", *bench)
+	}
+
+	type cfg struct {
+		name       string
+		dl1Ports   int
+		policy     svf.StackPolicy
+		stackPorts int
+		dl1Lat     int
+	}
+	configs := []cfg{
+		{"(1+0) baseline", 1, svf.PolicyNone, 0, 0},
+		{"(2+0) baseline", 2, svf.PolicyNone, 0, 0},
+		{"(4+0) baseline, 4-cycle DL1", 4, svf.PolicyNone, 0, 4},
+		{"(1+1) SVF", 1, svf.PolicySVF, 1, 0},
+		{"(1+2) SVF", 1, svf.PolicySVF, 2, 0},
+		{"(2+1) SVF", 2, svf.PolicySVF, 1, 0},
+		{"(2+2) SVF", 2, svf.PolicySVF, 2, 0},
+		{"(2+2) stack cache", 2, svf.PolicyStackCache, 2, 0},
+	}
+
+	fmt.Printf("port sweep on %s (%d instructions, 16-wide, 8KB stack structures)\n\n", prof.ID(), *insts)
+	fmt.Printf("%-30s %10s %8s %12s\n", "configuration", "cycles", "IPC", "vs (2+0)")
+	var ref uint64
+	for _, c := range configs {
+		r, err := svf.Run(prof, svf.Options{
+			DL1Ports:      c.dl1Ports,
+			DL1HitLatency: c.dl1Lat,
+			Policy:        c.policy,
+			StackPorts:    c.stackPorts,
+			MaxInsts:      *insts,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if c.name == "(2+0) baseline" {
+			ref = r.Cycles()
+		}
+		rel := "-"
+		if ref != 0 {
+			rel = fmt.Sprintf("%+.1f%%", 100*(float64(ref)/float64(r.Cycles())-1))
+		}
+		fmt.Printf("%-30s %10d %8.2f %12s\n", c.name, r.Cycles(), r.IPC(), rel)
+	}
+	fmt.Println("\nThe paper's conclusion, visible here: a small dual-ported SVF beside a")
+	fmt.Println("dual-ported cache rivals (or beats) doubling the cache's ports outright.")
+}

@@ -1,0 +1,59 @@
+// Traffic reproduces the paper's memory-traffic study (Table 3) for a
+// chosen set of benchmarks and structure sizes, demonstrating the SVF's
+// semantic-liveness advantage: allocation kills avoid write-miss fills,
+// deallocation kills avoid dead-data writebacks.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"svf"
+)
+
+func main() {
+	insts := flag.Int("insts", 2_000_000, "instructions per measurement")
+	benches := flag.String("bench", "176.gcc,252.eon,164.gzip,197.parser", "comma-separated benchmarks")
+	flag.Parse()
+
+	fmt.Printf("stack structure traffic in 64-bit quadwords (%d instructions)\n\n", *insts)
+	fmt.Printf("%-22s %6s %12s %12s %12s %12s %9s\n",
+		"benchmark", "size", "stack$ in", "SVF in", "stack$ out", "SVF out", "out ratio")
+
+	for _, name := range strings.Split(*benches, ",") {
+		prof := svf.ByName(strings.TrimSpace(name))
+		if prof == nil {
+			log.Fatalf("unknown benchmark %q", name)
+		}
+		for _, size := range []int{2 << 10, 4 << 10, 8 << 10} {
+			scIn, scOut, _, err := svf.StackTraffic(prof, svf.PolicyStackCache, size, *insts, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			svfIn, svfOut, _, err := svf.StackTraffic(prof, svf.PolicySVF, size, *insts, 0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ratio := "-"
+			if svfOut > 0 {
+				ratio = fmt.Sprintf("%.0fx", float64(scOut)/float64(svfOut))
+			} else if scOut > 0 {
+				ratio = "inf"
+			}
+			fmt.Printf("%-22s %5dK %12d %12d %12d %12d %9s\n",
+				prof.ID(), size>>10, scIn, svfIn, scOut, svfOut, ratio)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Why the SVF moves so much less data (§5.3.2):")
+	fmt.Println("  1. Allocations: new stack words are dead — a stack cache must fetch")
+	fmt.Println("     the rest of the line before a write miss completes; the SVF just")
+	fmt.Println("     invalidates the entry and takes the store.")
+	fmt.Println("  2. Dirty replacements: words above the TOS after a return are dead —")
+	fmt.Println("     a stack cache writes the dirty line back anyway; the SVF kills it.")
+	fmt.Println("  3. Granularity: the SVF moves 8-byte words on demand; the stack cache")
+	fmt.Println("     moves whole 32-byte lines.")
+}

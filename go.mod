@@ -1,0 +1,3 @@
+module svf
+
+go 1.22

@@ -1,0 +1,66 @@
+package core
+
+import "svf/internal/isa"
+
+// This file implements partial-word (sub-quadword) reference support — the
+// paper's stated next step (§7: "Our next research project will be to
+// extend this analysis to the x86 architecture with its increased reliance
+// on the stack region and its use of partial word references").
+//
+// The SVF's status bits are per 64-bit word (§3.3). A sub-word store to an
+// entry whose word is not valid cannot simply mark the entry valid: the
+// other bytes of the word would be garbage. The structure must first fetch
+// the word from the L1 and merge — a read-modify-write — which erodes the
+// allocation-kill advantage exactly as the paper anticipates for x86-style
+// code. Sub-word loads behave like word loads (a fill brings the whole
+// word).
+
+// AccessSized services one reference of the given size in bytes (1, 2, 4
+// or 8) to an address inside the window. It generalises Access; Access is
+// equivalent to AccessSized with size 8.
+func (s *SVF) AccessSized(addr uint64, size int, write, rerouted bool) int {
+	if size >= isa.WordSize || size <= 0 {
+		return s.Access(addr, write, rerouted)
+	}
+	lat := s.cfg.HitLatency
+	if rerouted {
+		lat += s.cfg.RerouteLatency
+		if write {
+			s.stats.ReroutedStores++
+		} else {
+			s.stats.ReroutedLoads++
+		}
+	} else {
+		if write {
+			s.stats.MorphedStores++
+		} else {
+			s.stats.MorphedLoads++
+		}
+	}
+	if s.cfg.Infinite {
+		return lat
+	}
+	i := s.index(addr)
+	if write {
+		traffic := uint64(0)
+		if !s.valid[i] {
+			// Read-modify-write: fetch the word's other bytes before
+			// the partial store can complete.
+			s.stats.SubWordRMWs++
+			s.stats.Fills++
+			s.stats.QuadWordsIn++
+			lat += s.l1.Access(addr&^(isa.WordSize-1), false)
+			traffic = 1
+		}
+		s.markValidDirty(addr)
+		s.adaptNote(traffic)
+		return lat
+	}
+	if !s.valid[i] {
+		lat += s.fillGranule(addr)
+		s.adaptNote(1)
+	} else {
+		s.adaptNote(0)
+	}
+	return lat
+}

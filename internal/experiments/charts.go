@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"svf/internal/plot"
+	"svf/internal/stats"
+)
+
+// ChartSVG pairs a suggested file name with rendered SVG content.
+type ChartSVG struct {
+	Name string
+	SVG  string
+}
+
+// representative returns up to max of the rows' benchmarks, preferring the
+// paper's illustrative set when present.
+func representative(all []string, max int) []int {
+	preferred := map[string]bool{
+		"256.bzip2.graphic": true, "186.crafty.ref": true, "252.eon.cook": true,
+		"176.gcc.cp-decl": true, "181.mcf.inp": true, "253.perlbmk.scrabbl": true,
+	}
+	var idx []int
+	for i, b := range all {
+		if preferred[b] {
+			idx = append(idx, i)
+		}
+	}
+	for i := range all {
+		if len(idx) >= max {
+			break
+		}
+		dup := false
+		for _, j := range idx {
+			if j == i {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) > max {
+		idx = idx[:max]
+	}
+	return idx
+}
+
+// Chart renders Figure 1 as grouped bars of reference fractions.
+func (r *Fig1Result) Chart() ChartSVG {
+	c := plot.BarChart{
+		Title:  "Figure 1: memory access distribution (fraction of memory references)",
+		YLabel: "fraction",
+	}
+	groups := []plot.BarGroup{
+		{Name: "stack ($sp)"}, {Name: "stack ($fp)"}, {Name: "stack ($gpr)"},
+		{Name: "global"}, {Name: "heap"},
+	}
+	for _, row := range r.Rows {
+		c.Categories = append(c.Categories, row.Bench)
+		groups[0].Values = append(groups[0].Values, row.StackSP)
+		groups[1].Values = append(groups[1].Values, row.StackFP)
+		groups[2].Values = append(groups[2].Values, row.StackGPR)
+		groups[3].Values = append(groups[3].Values, row.Global)
+		groups[4].Values = append(groups[4].Values, row.Heap)
+	}
+	c.Groups = groups
+	return ChartSVG{Name: "fig1.svg", SVG: c.SVG()}
+}
+
+// Chart renders Figure 2's stack-depth series for up to four representative
+// benchmarks (the paper shows four example panels).
+func (r *Fig2Result) Chart() ChartSVG {
+	var names []string
+	for _, s := range r.Series {
+		names = append(names, s.Bench)
+	}
+	c := plot.LineChart{
+		Title:  "Figure 2: stack depth variation over time (1000 units = 8KB)",
+		XLabel: "instructions",
+		YLabel: "stack depth (64-bit units)",
+	}
+	for _, i := range representative(names, 4) {
+		s := r.Series[i]
+		ls := plot.Series{Name: s.Bench}
+		for j := range s.X {
+			ls.X = append(ls.X, float64(s.X[j]))
+			ls.Y = append(ls.Y, float64(s.Y[j]))
+		}
+		c.Series = append(c.Series, ls)
+	}
+	return ChartSVG{Name: "fig2.svg", SVG: c.SVG()}
+}
+
+// Chart renders Figure 3's offset CDFs on a log-10 x-axis.
+func (r *Fig3Result) Chart() ChartSVG {
+	var names []string
+	for _, row := range r.Rows {
+		names = append(names, row.Bench)
+	}
+	c := plot.LineChart{
+		Title:  "Figure 3: cumulative offset from TOS (log scale)",
+		XLabel: "offset from TOS (bytes)",
+		YLabel: "cumulative fraction",
+		LogX:   true,
+	}
+	for _, i := range representative(names, 6) {
+		row := r.Rows[i]
+		ls := plot.Series{Name: row.Bench}
+		for j := range row.Bounds {
+			ls.X = append(ls.X, float64(row.Bounds[j]))
+			ls.Y = append(ls.Y, row.CumAt[j])
+		}
+		c.Series = append(c.Series, ls)
+	}
+	return ChartSVG{Name: "fig3.svg", SVG: c.SVG()}
+}
+
+func pct(v float64) float64 { return stats.PercentImprovement(v) }
+
+// Chart renders Figure 5 as grouped speedup bars.
+func (r *Fig5Result) Chart() ChartSVG {
+	c := plot.BarChart{
+		Title:  "Figure 5: speedup of morphing all stack accesses (infinite SVF), %",
+		YLabel: "% improvement",
+	}
+	groups := []plot.BarGroup{{Name: "4-wide"}, {Name: "8-wide"}, {Name: "16-wide"}, {Name: "16-wide gshare"}}
+	for _, row := range r.Rows {
+		c.Categories = append(c.Categories, row.Bench)
+		groups[0].Values = append(groups[0].Values, pct(row.Wide4))
+		groups[1].Values = append(groups[1].Values, pct(row.Wide8))
+		groups[2].Values = append(groups[2].Values, pct(row.Wide16))
+		groups[3].Values = append(groups[3].Values, pct(row.Gshare16))
+	}
+	c.Groups = groups
+	return ChartSVG{Name: "fig5.svg", SVG: c.SVG()}
+}
+
+// Chart renders Figure 6 as progressive speedup bars.
+func (r *Fig6Result) Chart() ChartSVG {
+	c := plot.BarChart{
+		Title:  "Figure 6: progressive performance analysis (16-wide), %",
+		YLabel: "% improvement over baseline",
+	}
+	groups := []plot.BarGroup{
+		{Name: "128KB L1"}, {Name: "no_addr_cal_op"}, {Name: "svf 1p"}, {Name: "svf 2p"}, {Name: "svf 16p"},
+	}
+	for _, row := range r.Rows {
+		c.Categories = append(c.Categories, row.Bench)
+		groups[0].Values = append(groups[0].Values, pct(row.L1x2))
+		groups[1].Values = append(groups[1].Values, pct(row.NoAddrCalc))
+		groups[2].Values = append(groups[2].Values, pct(row.SVF1))
+		groups[3].Values = append(groups[3].Values, pct(row.SVF2))
+		groups[4].Values = append(groups[4].Values, pct(row.SVF16))
+	}
+	c.Groups = groups
+	return ChartSVG{Name: "fig6.svg", SVG: c.SVG()}
+}
+
+// Chart renders Figure 7's configuration comparison.
+func (r *Fig7Result) Chart() ChartSVG {
+	c := plot.BarChart{
+		Title:  "Figure 7: cache/stack-cache/SVF configurations, % over (2+0)",
+		YLabel: "% improvement",
+	}
+	groups := []plot.BarGroup{
+		{Name: "(4+0)"}, {Name: "stack$ (2+2)"}, {Name: "svf (2+1)"},
+		{Name: "svf (2+2)"}, {Name: "svf (2+16)"}, {Name: "svf (2+2) no_squash"},
+	}
+	for _, row := range r.Rows {
+		c.Categories = append(c.Categories, row.Bench)
+		groups[0].Values = append(groups[0].Values, pct(row.Base4))
+		groups[1].Values = append(groups[1].Values, pct(row.SC22))
+		groups[2].Values = append(groups[2].Values, pct(row.SVF21))
+		groups[3].Values = append(groups[3].Values, pct(row.SVF22))
+		groups[4].Values = append(groups[4].Values, pct(row.SVF216))
+		groups[5].Values = append(groups[5].Values, pct(row.NoSquash22))
+	}
+	c.Groups = groups
+	return ChartSVG{Name: "fig7.svg", SVG: c.SVG()}
+}
+
+// Chart renders Figure 8's reference-type breakdown.
+func (r *Fig8Result) Chart() ChartSVG {
+	c := plot.BarChart{
+		Title:  "Figure 8: breakdown of SVF reference types",
+		YLabel: "fraction of SVF references",
+	}
+	groups := []plot.BarGroup{
+		{Name: "fast loads"}, {Name: "fast stores"}, {Name: "rerouted loads"}, {Name: "rerouted stores"},
+	}
+	for _, row := range r.Rows {
+		c.Categories = append(c.Categories, row.Bench)
+		groups[0].Values = append(groups[0].Values, row.FastLoads)
+		groups[1].Values = append(groups[1].Values, row.FastStores)
+		groups[2].Values = append(groups[2].Values, row.ReroutedLoads)
+		groups[3].Values = append(groups[3].Values, row.ReroutedStores)
+	}
+	c.Groups = groups
+	return ChartSVG{Name: "fig8.svg", SVG: c.SVG()}
+}
+
+// Chart renders Figure 9's implemented-SVF speedups.
+func (r *Fig9Result) Chart() ChartSVG {
+	c := plot.BarChart{
+		Title:  "Figure 9: SVF speedups over baseline, %",
+		YLabel: "% improvement",
+	}
+	groups := []plot.BarGroup{
+		{Name: "(1+1) vs (1+0)"}, {Name: "(1+2) vs (1+0)"}, {Name: "(2+1) vs (2+0)"}, {Name: "(2+2) vs (2+0)"},
+	}
+	for _, row := range r.Rows {
+		c.Categories = append(c.Categories, row.Bench)
+		groups[0].Values = append(groups[0].Values, pct(row.SVF11))
+		groups[1].Values = append(groups[1].Values, pct(row.SVF12))
+		groups[2].Values = append(groups[2].Values, pct(row.SVF21))
+		groups[3].Values = append(groups[3].Values, pct(row.SVF22))
+	}
+	c.Groups = groups
+	return ChartSVG{Name: "fig9.svg", SVG: c.SVG()}
+}

@@ -1,0 +1,70 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§2 and §5). Each experiment function runs the required
+// simulations and returns both the raw per-benchmark numbers (for tests and
+// programmatic use) and a formatted table matching the paper's
+// presentation.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"svf/internal/synth"
+)
+
+// Config controls experiment execution.
+type Config struct {
+	// MaxInsts is the per-run instruction budget for timing experiments
+	// (default 400 000; the paper runs ≥1B — scale expectations, not
+	// shapes).
+	MaxInsts int
+	// TrafficInsts is the budget for functional traffic experiments
+	// (Tables 3 and 4; default 2 000 000).
+	TrafficInsts int
+	// Benchmarks defaults to the twelve Table 1 profiles.
+	Benchmarks []*synth.Profile
+	// Parallel is the number of concurrent simulations (default
+	// GOMAXPROCS).
+	Parallel int
+}
+
+func (c *Config) fillDefaults() {
+	if c.MaxInsts == 0 {
+		c.MaxInsts = 400_000
+	}
+	if c.TrafficInsts == 0 {
+		c.TrafficInsts = 2_000_000
+	}
+	if c.Benchmarks == nil {
+		c.Benchmarks = synth.Benchmarks()
+	}
+	if c.Parallel == 0 {
+		c.Parallel = runtime.GOMAXPROCS(0)
+	}
+}
+
+// forEach runs f(i) for i in [0, n) with bounded parallelism, returning the
+// first error.
+func forEach(parallel, n int, f func(i int) error) error {
+	if parallel < 1 {
+		parallel = 1
+	}
+	sem := make(chan struct{}, parallel)
+	errCh := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := f(i); err != nil {
+				errCh <- fmt.Errorf("experiments: task %d: %w", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}

@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"svf/internal/pipeline"
+	"svf/internal/sim"
+	"svf/internal/stats"
+)
+
+// speedup runs a baseline and a configuration and returns
+// baselineCycles/configCycles.
+type runSpec struct {
+	label string
+	opt   sim.Options
+}
+
+// Fig5Row is one benchmark's Figure 5 speedups: infinite-size, ∞-port SVF
+// morphing relative to the same-width baseline.
+type Fig5Row struct {
+	Bench string
+	// Wide4, Wide8, Wide16 are speedups with a perfect predictor.
+	Wide4, Wide8, Wide16 float64
+	// Gshare16 is the 16-wide speedup with gshare front ends on both
+	// sides.
+	Gshare16 float64
+}
+
+// Fig5Result reproduces Figure 5.
+type Fig5Result struct {
+	Rows []Fig5Row
+	// Mean4, Mean8, Mean16, MeanGshare are the cross-benchmark averages
+	// (paper: 11%, 19%, 31%, 25%).
+	Mean4, Mean8, Mean16, MeanGshare float64
+}
+
+// Fig5 measures the speedup potential of morphing all stack accesses to
+// register moves.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	cfg.fillDefaults()
+	res := &Fig5Result{Rows: make([]Fig5Row, len(cfg.Benchmarks))}
+	widths := []struct {
+		mc   pipeline.MachineConfig
+		pred sim.PredictorKind
+	}{
+		{pipeline.FourWide(), sim.PredPerfect},
+		{pipeline.EightWide(), sim.PredPerfect},
+		{pipeline.SixteenWide(), sim.PredPerfect},
+		{pipeline.SixteenWide(), sim.PredGshare},
+	}
+	type job struct{ bench, width int }
+	var jobs []job
+	for b := range cfg.Benchmarks {
+		for w := range widths {
+			jobs = append(jobs, job{b, w})
+		}
+	}
+	sp := make([][4]float64, len(cfg.Benchmarks))
+	err := forEach(cfg.Parallel, len(jobs), func(j int) error {
+		b, w := jobs[j].bench, jobs[j].width
+		prof := cfg.Benchmarks[b]
+		base, err := sim.Run(prof, sim.Options{
+			Machine: widths[w].mc, Predictor: widths[w].pred, MaxInsts: cfg.MaxInsts,
+		})
+		if err != nil {
+			return err
+		}
+		svf, err := sim.Run(prof, sim.Options{
+			Machine: widths[w].mc, Predictor: widths[w].pred, MaxInsts: cfg.MaxInsts,
+			Policy: pipeline.PolicySVF, SVFInfinite: true, StackPorts: 0,
+		})
+		if err != nil {
+			return err
+		}
+		sp[b][w] = stats.Speedup(base.Cycles(), svf.Cycles())
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var m [4][]float64
+	for b, prof := range cfg.Benchmarks {
+		res.Rows[b] = Fig5Row{
+			Bench: prof.ID(),
+			Wide4: sp[b][0], Wide8: sp[b][1], Wide16: sp[b][2], Gshare16: sp[b][3],
+		}
+		for w := 0; w < 4; w++ {
+			m[w] = append(m[w], sp[b][w])
+		}
+	}
+	res.Mean4, res.Mean8, res.Mean16, res.MeanGshare =
+		stats.Mean(m[0]), stats.Mean(m[1]), stats.Mean(m[2]), stats.Mean(m[3])
+	return res, nil
+}
+
+// Table renders Figure 5.
+func (r *Fig5Result) Table() *stats.Table {
+	t := stats.NewTable("benchmark", "4-wide", "8-wide", "16-wide", "16-wide gshare")
+	pct := stats.PercentImprovement
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, pct(row.Wide4), pct(row.Wide8), pct(row.Wide16), pct(row.Gshare16))
+	}
+	t.AddRow("average (%)", pct(r.Mean4), pct(r.Mean8), pct(r.Mean16), pct(r.MeanGshare))
+	return t
+}
+
+// Fig6Row is one benchmark's progressive analysis (Figure 6): speedups over
+// the 16-wide baseline as constraints are relaxed one at a time.
+type Fig6Row struct {
+	Bench string
+	// L1x2 doubles the DL1 to 128KB; NoAddrCalc removes stack
+	// address-computation dependencies; SVF1/SVF2/SVF16 add an 8KB SVF
+	// with 1, 2 and 16 ports.
+	L1x2, NoAddrCalc, SVF1, SVF2, SVF16 float64
+}
+
+// Fig6Result reproduces Figure 6.
+type Fig6Result struct {
+	Rows                                        []Fig6Row
+	MeanL1x2, MeanNoAddr, Mean1, Mean2, Mean16P float64
+}
+
+// Fig6 runs the progressive performance analysis on the 16-wide machine.
+func Fig6(cfg Config) (*Fig6Result, error) {
+	cfg.fillDefaults()
+	mc := pipeline.SixteenWide()
+	specs := []runSpec{
+		{"base", sim.Options{Machine: mc}},
+		{"l1x2", sim.Options{Machine: mc, DL1SizeBytes: 128 << 10}},
+		{"noaddr", sim.Options{Machine: func() pipeline.MachineConfig { m := mc; m.NoAddrCalcOp = true; return m }()}},
+		{"svf1", sim.Options{Machine: mc, Policy: pipeline.PolicySVF, StackPorts: 1}},
+		{"svf2", sim.Options{Machine: mc, Policy: pipeline.PolicySVF, StackPorts: 2}},
+		{"svf16", sim.Options{Machine: mc, Policy: pipeline.PolicySVF, StackPorts: 16}},
+	}
+	cycles, err := runMatrix(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig6Result{Rows: make([]Fig6Row, len(cfg.Benchmarks))}
+	var acc [5][]float64
+	for b, prof := range cfg.Benchmarks {
+		base := cycles[b][0]
+		row := Fig6Row{Bench: prof.ID()}
+		vals := []*float64{&row.L1x2, &row.NoAddrCalc, &row.SVF1, &row.SVF2, &row.SVF16}
+		for k := 0; k < 5; k++ {
+			*vals[k] = stats.Speedup(base, cycles[b][k+1])
+			acc[k] = append(acc[k], *vals[k])
+		}
+		res.Rows[b] = row
+	}
+	res.MeanL1x2, res.MeanNoAddr, res.Mean1, res.Mean2, res.Mean16P =
+		stats.Mean(acc[0]), stats.Mean(acc[1]), stats.Mean(acc[2]), stats.Mean(acc[3]), stats.Mean(acc[4])
+	return res, nil
+}
+
+// Table renders Figure 6.
+func (r *Fig6Result) Table() *stats.Table {
+	t := stats.NewTable("benchmark", "128KB L1", "no_addr_cal_op", "svf 1p", "svf 2p", "svf 16p")
+	pct := stats.PercentImprovement
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, pct(row.L1x2), pct(row.NoAddrCalc), pct(row.SVF1), pct(row.SVF2), pct(row.SVF16))
+	}
+	t.AddRow("average (%)", pct(r.MeanL1x2), pct(r.MeanNoAddr), pct(r.Mean1), pct(r.Mean2), pct(r.Mean16P))
+	return t
+}
+
+// runMatrix runs every benchmark × spec pair and returns cycles[bench][spec].
+func runMatrix(cfg Config, specs []runSpec) ([][]uint64, error) {
+	cycles := make([][]uint64, len(cfg.Benchmarks))
+	for i := range cycles {
+		cycles[i] = make([]uint64, len(specs))
+	}
+	type job struct{ b, s int }
+	var jobs []job
+	for b := range cfg.Benchmarks {
+		for s := range specs {
+			jobs = append(jobs, job{b, s})
+		}
+	}
+	err := forEach(cfg.Parallel, len(jobs), func(j int) error {
+		b, s := jobs[j].b, jobs[j].s
+		opt := specs[s].opt
+		opt.MaxInsts = cfg.MaxInsts
+		r, err := sim.Run(cfg.Benchmarks[b], opt)
+		if err != nil {
+			return err
+		}
+		cycles[b][s] = r.Cycles()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cycles, nil
+}
+
+// Fig7Row is one benchmark's comparison of cache/SVF/stack-cache port
+// configurations (Figure 7), as speedups over the (2+0) baseline.
+type Fig7Row struct {
+	Bench string
+	// Base4 is the 4-ported, 4-cycle-latency DL1 baseline (4+0).
+	Base4 float64
+	// SC22 is the stack cache (2+2); SVF21/SVF22/SVF216 the SVF with 1,
+	// 2 and 16 ports beside a 2-ported DL1; NoSquash22 the (2+2) SVF
+	// with the collision-free code generator.
+	SC22, SVF21, SVF22, SVF216, NoSquash22 float64
+}
+
+// Fig7Result reproduces Figure 7.
+type Fig7Result struct {
+	Rows []Fig7Row
+	// Means across benchmarks.
+	MeanBase4, MeanSC22, MeanSVF21, MeanSVF22, MeanSVF216, MeanNoSquash float64
+}
+
+// Fig7 compares the SVF against the decoupled stack cache and multi-ported
+// baselines on the 16-wide machine with 8KB stack structures.
+func Fig7(cfg Config) (*Fig7Result, error) {
+	cfg.fillDefaults()
+	mc := pipeline.SixteenWide()
+	mcNoSquash := mc
+	mcNoSquash.NoSquash = true
+	specs := []runSpec{
+		{"2+0", sim.Options{Machine: mc, DL1Ports: 2}},
+		{"4+0", sim.Options{Machine: mc, DL1Ports: 4, DL1HitLatency: 4}},
+		{"sc 2+2", sim.Options{Machine: mc, DL1Ports: 2, Policy: pipeline.PolicyStackCache, StackPorts: 2}},
+		{"svf 2+1", sim.Options{Machine: mc, DL1Ports: 2, Policy: pipeline.PolicySVF, StackPorts: 1}},
+		{"svf 2+2", sim.Options{Machine: mc, DL1Ports: 2, Policy: pipeline.PolicySVF, StackPorts: 2}},
+		{"svf 2+16", sim.Options{Machine: mc, DL1Ports: 2, Policy: pipeline.PolicySVF, StackPorts: 16}},
+		{"svf 2+2 no_squash", sim.Options{Machine: mcNoSquash, DL1Ports: 2, Policy: pipeline.PolicySVF, StackPorts: 2}},
+	}
+	cycles, err := runMatrix(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig7Result{Rows: make([]Fig7Row, len(cfg.Benchmarks))}
+	var acc [6][]float64
+	for b, prof := range cfg.Benchmarks {
+		base := cycles[b][0]
+		row := Fig7Row{Bench: prof.ID()}
+		vals := []*float64{&row.Base4, &row.SC22, &row.SVF21, &row.SVF22, &row.SVF216, &row.NoSquash22}
+		for k := 0; k < 6; k++ {
+			*vals[k] = stats.Speedup(base, cycles[b][k+1])
+			acc[k] = append(acc[k], *vals[k])
+		}
+		res.Rows[b] = row
+	}
+	res.MeanBase4, res.MeanSC22, res.MeanSVF21, res.MeanSVF22, res.MeanSVF216, res.MeanNoSquash =
+		stats.Mean(acc[0]), stats.Mean(acc[1]), stats.Mean(acc[2]), stats.Mean(acc[3]), stats.Mean(acc[4]), stats.Mean(acc[5])
+	return res, nil
+}
+
+// Table renders Figure 7.
+func (r *Fig7Result) Table() *stats.Table {
+	t := stats.NewTable("benchmark", "(4+0)", "sc(2+2)", "svf(2+1)", "svf(2+2)", "svf(2+16)", "svf(2+2) no_squash")
+	pct := stats.PercentImprovement
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, pct(row.Base4), pct(row.SC22), pct(row.SVF21), pct(row.SVF22), pct(row.SVF216), pct(row.NoSquash22))
+	}
+	t.AddRow("average (%)", pct(r.MeanBase4), pct(r.MeanSC22), pct(r.MeanSVF21), pct(r.MeanSVF22), pct(r.MeanSVF216), pct(r.MeanNoSquash))
+	return t
+}
+
+// Fig8Row is one benchmark's SVF reference-type breakdown (Figure 8).
+type Fig8Row struct {
+	Bench string
+	// Fractions of all SVF references.
+	FastLoads, FastStores, ReroutedLoads, ReroutedStores float64
+}
+
+// Morphed returns the total front-end-morphed fraction.
+func (r Fig8Row) Morphed() float64 { return r.FastLoads + r.FastStores }
+
+// Fig8Result reproduces Figure 8.
+type Fig8Result struct {
+	Rows []Fig8Row
+	// MeanMorphed is the cross-benchmark morphed fraction (paper: ~86%).
+	MeanMorphed float64
+}
+
+// Fig8 measures the breakdown of SVF reference types on the (2+2) SVF.
+func Fig8(cfg Config) (*Fig8Result, error) {
+	cfg.fillDefaults()
+	res := &Fig8Result{Rows: make([]Fig8Row, len(cfg.Benchmarks))}
+	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
+		prof := cfg.Benchmarks[b]
+		r, err := sim.Run(prof, sim.Options{
+			Machine: pipeline.SixteenWide(), DL1Ports: 2,
+			Policy: pipeline.PolicySVF, StackPorts: 2, MaxInsts: cfg.MaxInsts,
+		})
+		if err != nil {
+			return err
+		}
+		st := r.SVF
+		total := float64(st.MorphedRefs() + st.ReroutedRefs())
+		if total == 0 {
+			total = 1
+		}
+		res.Rows[b] = Fig8Row{
+			Bench:          prof.ID(),
+			FastLoads:      float64(st.MorphedLoads) / total,
+			FastStores:     float64(st.MorphedStores) / total,
+			ReroutedLoads:  float64(st.ReroutedLoads) / total,
+			ReroutedStores: float64(st.ReroutedStores) / total,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var morphed []float64
+	for _, row := range res.Rows {
+		morphed = append(morphed, row.Morphed())
+	}
+	res.MeanMorphed = stats.Mean(morphed)
+	return res, nil
+}
+
+// Table renders Figure 8.
+func (r *Fig8Result) Table() *stats.Table {
+	t := stats.NewTable("benchmark", "fast loads", "fast stores", "rerouted loads", "rerouted stores", "morphed total")
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, row.FastLoads, row.FastStores, row.ReroutedLoads, row.ReroutedStores, row.Morphed())
+	}
+	t.AddRow("average morphed", "", "", "", "", r.MeanMorphed)
+	return t
+}
+
+// Fig9Row is one benchmark's actual-SVF speedups (Figure 9).
+type Fig9Row struct {
+	Bench string
+	// SVF11 and SVF12 are (1+1) and (1+2) speedups over the (1+0)
+	// baseline; SVF21 and SVF22 are (2+1) and (2+2) over (2+0).
+	SVF11, SVF12, SVF21, SVF22 float64
+}
+
+// Fig9Result reproduces Figure 9.
+type Fig9Result struct {
+	Rows []Fig9Row
+	// Means (paper: ~50% for 1+1, ~65% for 1+2, ~24% for 2+2).
+	Mean11, Mean12, Mean21, Mean22 float64
+}
+
+// Fig9 measures the implemented SVF's speedups over baselines with single-
+// and dual-ported data caches.
+func Fig9(cfg Config) (*Fig9Result, error) {
+	cfg.fillDefaults()
+	mc := pipeline.SixteenWide()
+	specs := []runSpec{
+		{"1+0", sim.Options{Machine: mc, DL1Ports: 1}},
+		{"1+1", sim.Options{Machine: mc, DL1Ports: 1, Policy: pipeline.PolicySVF, StackPorts: 1}},
+		{"1+2", sim.Options{Machine: mc, DL1Ports: 1, Policy: pipeline.PolicySVF, StackPorts: 2}},
+		{"2+0", sim.Options{Machine: mc, DL1Ports: 2}},
+		{"2+1", sim.Options{Machine: mc, DL1Ports: 2, Policy: pipeline.PolicySVF, StackPorts: 1}},
+		{"2+2", sim.Options{Machine: mc, DL1Ports: 2, Policy: pipeline.PolicySVF, StackPorts: 2}},
+	}
+	cycles, err := runMatrix(cfg, specs)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{Rows: make([]Fig9Row, len(cfg.Benchmarks))}
+	var acc [4][]float64
+	for b, prof := range cfg.Benchmarks {
+		row := Fig9Row{
+			Bench: prof.ID(),
+			SVF11: stats.Speedup(cycles[b][0], cycles[b][1]),
+			SVF12: stats.Speedup(cycles[b][0], cycles[b][2]),
+			SVF21: stats.Speedup(cycles[b][3], cycles[b][4]),
+			SVF22: stats.Speedup(cycles[b][3], cycles[b][5]),
+		}
+		res.Rows[b] = row
+		acc[0] = append(acc[0], row.SVF11)
+		acc[1] = append(acc[1], row.SVF12)
+		acc[2] = append(acc[2], row.SVF21)
+		acc[3] = append(acc[3], row.SVF22)
+	}
+	res.Mean11, res.Mean12, res.Mean21, res.Mean22 =
+		stats.Mean(acc[0]), stats.Mean(acc[1]), stats.Mean(acc[2]), stats.Mean(acc[3])
+	return res, nil
+}
+
+// Table renders Figure 9.
+func (r *Fig9Result) Table() *stats.Table {
+	t := stats.NewTable("benchmark", "(1+1) vs (1+0)", "(1+2) vs (1+0)", "(2+1) vs (2+0)", "(2+2) vs (2+0)")
+	pct := stats.PercentImprovement
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, pct(row.SVF11), pct(row.SVF12), pct(row.SVF21), pct(row.SVF22))
+	}
+	t.AddRow("average (%)", pct(r.Mean11), pct(r.Mean12), pct(r.Mean21), pct(r.Mean22))
+	return t
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"svf/internal/pipeline"
+	"svf/internal/sim"
+	"svf/internal/stats"
+)
+
+// RSERow compares the three stack structures on one benchmark at equal
+// capacity: the SVF, the decoupled stack cache (§5.3), and the register
+// stack engine (§6).
+type RSERow struct {
+	Bench string
+	// Speedups over the (2+0) baseline.
+	SVFSpeedup, SCSpeedup, RSESpeedup float64
+	// Steady-state traffic in quadwords (fills + writebacks).
+	SVFQW, SCQW, RSEQW uint64
+	// Context-switch flush traffic in bytes per switch.
+	SVFCtxBytes, SCCtxBytes, RSECtxBytes uint64
+}
+
+// RSEResult is the three-way structure comparison.
+type RSEResult struct {
+	Rows []RSERow
+	// Mean speedups.
+	MeanSVF, MeanSC, MeanRSE float64
+}
+
+// RSE runs the three-way comparison: 8KB structures, dual-ported, 16-wide.
+func RSE(cfg Config) (*RSEResult, error) {
+	cfg.fillDefaults()
+	res := &RSEResult{Rows: make([]RSERow, len(cfg.Benchmarks))}
+	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
+		prof := cfg.Benchmarks[b]
+		base, err := sim.Run(prof, sim.Options{MaxInsts: cfg.MaxInsts})
+		if err != nil {
+			return err
+		}
+		row := RSERow{Bench: prof.ID()}
+		for _, c := range []struct {
+			policy   pipeline.StackPolicy
+			speedup  *float64
+			qw       *uint64
+			ctxBytes *uint64
+		}{
+			{pipeline.PolicySVF, &row.SVFSpeedup, &row.SVFQW, &row.SVFCtxBytes},
+			{pipeline.PolicyStackCache, &row.SCSpeedup, &row.SCQW, &row.SCCtxBytes},
+			{pipeline.PolicyRSE, &row.RSESpeedup, &row.RSEQW, &row.RSECtxBytes},
+		} {
+			r, err := sim.Run(prof, sim.Options{Policy: c.policy, StackPorts: 2, MaxInsts: cfg.MaxInsts})
+			if err != nil {
+				return err
+			}
+			*c.speedup = stats.Speedup(base.Cycles(), r.Cycles())
+			in, out, ctx, err := sim.TrafficOnly(prof, c.policy, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
+			if err != nil {
+				return err
+			}
+			*c.qw = in + out
+			*c.ctxBytes = ctx
+		}
+		res.Rows[b] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var s, c, r []float64
+	for _, row := range res.Rows {
+		s = append(s, row.SVFSpeedup)
+		c = append(c, row.SCSpeedup)
+		r = append(r, row.RSESpeedup)
+	}
+	res.MeanSVF, res.MeanSC, res.MeanRSE = stats.Mean(s), stats.Mean(c), stats.Mean(r)
+	return res, nil
+}
+
+// Table renders the three-way comparison.
+func (r *RSEResult) Table() *stats.Table {
+	t := stats.NewTable("benchmark",
+		"svf speedup", "stack$ speedup", "rse speedup",
+		"svf QW", "stack$ QW", "rse QW",
+		"svf B/ctx", "stack$ B/ctx", "rse B/ctx")
+	pct := stats.PercentImprovement
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench,
+			pct(row.SVFSpeedup), pct(row.SCSpeedup), pct(row.RSESpeedup),
+			row.SVFQW, row.SCQW, row.RSEQW,
+			row.SVFCtxBytes, row.SCCtxBytes, row.RSECtxBytes)
+	}
+	t.AddRow("average (%)", pct(r.MeanSVF), pct(r.MeanSC), pct(r.MeanRSE), "", "", "", "", "", "")
+	return t
+}

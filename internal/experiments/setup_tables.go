@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+
+	"svf/internal/pipeline"
+	"svf/internal/stats"
+	"svf/internal/synth"
+)
+
+// Table1 renders the benchmark/input inventory (the paper's Table 1),
+// mapping each SPECint2000 program to the input variants this reproduction
+// bundles.
+func Table1() *stats.Table {
+	t := stats.NewTable("benchmark", "input(s)", "seed", "stack frac target", "depth band (words)")
+	byName := map[string][]*synth.Profile{}
+	var order []string
+	for _, p := range synth.BenchmarkInputs() {
+		if _, ok := byName[p.Name]; !ok {
+			order = append(order, p.Name)
+		}
+		byName[p.Name] = append(byName[p.Name], p)
+	}
+	for _, name := range order {
+		ps := byName[name]
+		inputs := ""
+		for i, p := range ps {
+			if i > 0 {
+				inputs += " & "
+			}
+			inputs += p.Input
+		}
+		p0 := ps[0]
+		t.AddRow(name, inputs, p0.Seed, p0.StackFrac,
+			fmt.Sprintf("%d-%d", p0.DepthTypicalWords, p0.DepthBurstWords))
+	}
+	return t
+}
+
+// Table2 renders the machine models (the paper's Table 2).
+func Table2() *stats.Table {
+	t := stats.NewTable("component", "4-wide", "8-wide", "16-wide")
+	ms := []pipeline.MachineConfig{pipeline.FourWide(), pipeline.EightWide(), pipeline.SixteenWide()}
+	row := func(name string, f func(pipeline.MachineConfig) any) {
+		t.AddRow(name, f(ms[0]), f(ms[1]), f(ms[2]))
+	}
+	row("decode/issue/commit width", func(m pipeline.MachineConfig) any { return m.Width })
+	row("IFQ size", func(m pipeline.MachineConfig) any { return m.IFQSize })
+	row("RUU size", func(m pipeline.MachineConfig) any { return m.RUUSize })
+	row("LSQ size", func(m pipeline.MachineConfig) any { return m.LSQSize })
+	row("int/fp ALU", func(m pipeline.MachineConfig) any { return m.IntALU })
+	row("int/fp mult", func(m pipeline.MachineConfig) any { return m.IntMult })
+	row("DL1 ports (default)", func(m pipeline.MachineConfig) any { return m.DL1Ports })
+	row("store forwarding (clks)", func(m pipeline.MachineConfig) any { return m.StoreForwardLat })
+	row("mispredict penalty (clks)", func(m pipeline.MachineConfig) any { return m.MispredictPenalty })
+	t.AddRow("IL1 cache", "8-way 256KB, 1 clk", "same", "same")
+	t.AddRow("DL1 cache", "4-way 64KB, 3 clks", "same", "same")
+	t.AddRow("unified L2", "4-way 512KB, 16 clks", "same", "same")
+	t.AddRow("memory latency", "60 clks", "same", "same")
+	return t
+}

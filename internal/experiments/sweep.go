@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"svf/internal/pipeline"
+	"svf/internal/sim"
+	"svf/internal/stats"
+)
+
+// SweepPoint is one (capacity, ports) design point of the SVF design-space
+// sweep, averaged across benchmarks.
+type SweepPoint struct {
+	// SizeBytes and Ports identify the configuration.
+	SizeBytes int
+	Ports     int
+	// MeanSpeedup is the average speedup over the (2+0) baseline.
+	MeanSpeedup float64
+	// MeanTrafficQW is the average SVF fill+spill traffic in quadwords.
+	MeanTrafficQW float64
+}
+
+// SweepResult is the §7 design-space exploration: how much SVF capacity and
+// portedness buy, quantifying the paper's closing claim that the SVF
+// "boost[s] performance without significant increases in area or
+// complexity".
+type SweepResult struct {
+	Points []SweepPoint
+	// Sizes and Ports are the swept axes.
+	Sizes []int
+	Ports []int
+}
+
+// SweepSizes and SweepPorts are the default design-space axes.
+var (
+	SweepSizes = []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10}
+	SweepPorts = []int{1, 2, 4}
+)
+
+// Sweep runs the full capacity × ports design space on the 16-wide machine.
+func Sweep(cfg Config) (*SweepResult, error) {
+	cfg.fillDefaults()
+	res := &SweepResult{Sizes: SweepSizes, Ports: SweepPorts}
+
+	// Baselines per benchmark.
+	base := make([]uint64, len(cfg.Benchmarks))
+	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
+		r, err := sim.Run(cfg.Benchmarks[b], sim.Options{
+			Machine: pipeline.SixteenWide(), DL1Ports: 2, MaxInsts: cfg.MaxInsts,
+		})
+		if err != nil {
+			return err
+		}
+		base[b] = r.Cycles()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	type job struct{ si, pi, b int }
+	var jobs []job
+	for si := range SweepSizes {
+		for pi := range SweepPorts {
+			for b := range cfg.Benchmarks {
+				jobs = append(jobs, job{si, pi, b})
+			}
+		}
+	}
+	speedups := make([][]float64, len(SweepSizes)*len(SweepPorts))
+	traffic := make([][]float64, len(SweepSizes)*len(SweepPorts))
+	for i := range speedups {
+		speedups[i] = make([]float64, len(cfg.Benchmarks))
+		traffic[i] = make([]float64, len(cfg.Benchmarks))
+	}
+	err = forEach(cfg.Parallel, len(jobs), func(j int) error {
+		jb := jobs[j]
+		r, err := sim.Run(cfg.Benchmarks[jb.b], sim.Options{
+			Machine: pipeline.SixteenWide(), DL1Ports: 2,
+			Policy: pipeline.PolicySVF, StackSizeBytes: SweepSizes[jb.si], StackPorts: SweepPorts[jb.pi],
+			MaxInsts: cfg.MaxInsts,
+		})
+		if err != nil {
+			return err
+		}
+		k := jb.si*len(SweepPorts) + jb.pi
+		speedups[k][jb.b] = stats.Speedup(base[jb.b], r.Cycles())
+		traffic[k][jb.b] = float64(r.SVFQWIn + r.SVFQWOut)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for si, size := range SweepSizes {
+		for pi, ports := range SweepPorts {
+			k := si*len(SweepPorts) + pi
+			res.Points = append(res.Points, SweepPoint{
+				SizeBytes:     size,
+				Ports:         ports,
+				MeanSpeedup:   stats.Mean(speedups[k]),
+				MeanTrafficQW: stats.Mean(traffic[k]),
+			})
+		}
+	}
+	return res, nil
+}
+
+// Point returns the sweep point for (sizeBytes, ports), or nil.
+func (r *SweepResult) Point(sizeBytes, ports int) *SweepPoint {
+	for i := range r.Points {
+		if r.Points[i].SizeBytes == sizeBytes && r.Points[i].Ports == ports {
+			return &r.Points[i]
+		}
+	}
+	return nil
+}
+
+// Table renders the sweep as a capacity × ports grid of % improvements.
+func (r *SweepResult) Table() *stats.Table {
+	header := []string{"SVF size"}
+	for _, p := range r.Ports {
+		header = append(header, fmt.Sprintf("%d port(s) speedup", p))
+	}
+	header = append(header, "traffic QW (2 ports)")
+	t := stats.NewTable(header...)
+	for _, size := range r.Sizes {
+		row := []any{fmt.Sprintf("%dKB", size>>10)}
+		var twoPortTraffic float64
+		for _, ports := range r.Ports {
+			pt := r.Point(size, ports)
+			row = append(row, fmt.Sprintf("%+.1f%%", stats.PercentImprovement(pt.MeanSpeedup)))
+			if ports == 2 {
+				twoPortTraffic = pt.MeanTrafficQW
+			}
+		}
+		row = append(row, fmt.Sprintf("%.0f", twoPortTraffic))
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"svf/internal/synth"
+)
+
+// TestAllTablesRender exercises every experiment's paper-style table
+// renderer: headers present, one row per benchmark, averages where the
+// paper reports them.
+func TestAllTablesRender(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Benchmarks = []*synth.Profile{synth.Crafty(), synth.Gzip()}
+
+	check := func(name, out string, wantCols []string, wantRows int) {
+		t.Helper()
+		if out == "" {
+			t.Fatalf("%s: empty table", name)
+		}
+		for _, c := range wantCols {
+			if !strings.Contains(out, c) {
+				t.Errorf("%s: missing column/marker %q in:\n%s", name, c, out)
+			}
+		}
+		lines := strings.Count(out, "\n")
+		if lines < wantRows+2 { // header + rule + rows
+			t.Errorf("%s: only %d lines, want >= %d", name, lines, wantRows+2)
+		}
+		if !strings.Contains(out, "186.crafty.ref") {
+			t.Errorf("%s: missing benchmark row", name)
+		}
+	}
+
+	r1, err := Fig1(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig1", r1.Table().String(), []string{"mem/inst", "stack($sp)", "average"}, 3)
+
+	r2, err := Fig2(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig2", r2.Table().String(), []string{"max depth (words)", "fits 1000 units"}, 2)
+
+	r3, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig3", r3.Table().String(), []string{"mean offset (B)", "<=8KB"}, 2)
+
+	r5, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig5", r5.Table().String(), []string{"4-wide", "16-wide gshare", "average (%)"}, 3)
+
+	r6, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig6", r6.Table().String(), []string{"128KB L1", "no_addr_cal_op", "svf 16p"}, 3)
+
+	r7, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig7", r7.Table().String(), []string{"(4+0)", "sc(2+2)", "no_squash"}, 3)
+
+	r8, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig8", r8.Table().String(), []string{"fast loads", "rerouted stores", "morphed"}, 3)
+
+	r9, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("fig9", r9.Table().String(), []string{"(1+1) vs (1+0)", "(2+2) vs (2+0)"}, 3)
+
+	t3, err := Table3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("table3", t3.Table().String(), []string{"2K sc-in", "8K svf-out"}, 2)
+
+	t4cfg := cfg
+	t4cfg.TrafficInsts = 900_000
+	t4, err := Table4(t4cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("table4", t4.Table().String(), []string{"stack cache (B/switch)", "ratio"}, 2)
+}
+
+// TestSetupTables exercises the Table 1/2 printers.
+func TestSetupTables(t *testing.T) {
+	t1 := Table1().String()
+	for _, want := range []string{"256.bzip2", "graphic & program", "176.gcc", "cp-decl & integrate"} {
+		if !strings.Contains(t1, want) {
+			t.Errorf("Table 1 missing %q:\n%s", want, t1)
+		}
+	}
+	t2 := Table2().String()
+	for _, want := range []string{"RUU size", "256", "store forwarding", "unified L2"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, t2)
+		}
+	}
+}
+
+// TestAllChartsRender exercises the remaining chart constructors.
+func TestAllChartsRender(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Benchmarks = []*synth.Profile{synth.Crafty(), synth.Gzip()}
+	r6, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r7, err := Fig7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []ChartSVG{r6.Chart(), r7.Chart(), r8.Chart()} {
+		if !strings.Contains(c.SVG, "</svg>") || !strings.HasSuffix(c.Name, ".svg") {
+			t.Errorf("%s failed to render", c.Name)
+		}
+	}
+}

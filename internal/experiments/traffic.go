@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"svf/internal/pipeline"
+	"svf/internal/sim"
+	"svf/internal/stats"
+	"svf/internal/synth"
+)
+
+// Table3Row is one benchmark·input's memory traffic at one structure size
+// (quadwords, Table 3).
+type Table3Row struct {
+	Bench string
+	// Per size (2KB, 4KB, 8KB): stack cache in/out and SVF in/out.
+	SCIn, SCOut, SVFIn, SVFOut [3]uint64
+}
+
+// Table3Sizes are the structure capacities compared.
+var Table3Sizes = []int{2 << 10, 4 << 10, 8 << 10}
+
+// Table3Result reproduces Table 3.
+type Table3Result struct {
+	Rows []Table3Row
+	// Insts is the per-run instruction budget (the paper uses ≥1B;
+	// compare ratios, not magnitudes).
+	Insts int
+}
+
+// Table3 measures stack cache vs SVF memory traffic at 2/4/8KB for every
+// benchmark·input pair.
+func Table3(cfg Config) (*Table3Result, error) {
+	cfg.fillDefaults()
+	benches := cfg.Benchmarks
+	if len(benches) == len(synth.Benchmarks()) {
+		// Table 3 uses every input variant, not one per benchmark.
+		benches = synth.BenchmarkInputs()
+	}
+	res := &Table3Result{Rows: make([]Table3Row, len(benches)), Insts: cfg.TrafficInsts}
+	type job struct{ b, s int }
+	var jobs []job
+	for b := range benches {
+		for s := range Table3Sizes {
+			jobs = append(jobs, job{b, s})
+		}
+	}
+	err := forEach(cfg.Parallel, len(jobs), func(j int) error {
+		b, s := jobs[j].b, jobs[j].s
+		size := Table3Sizes[s]
+		scIn, scOut, _, err := sim.TrafficOnly(benches[b], pipeline.PolicyStackCache, size, cfg.TrafficInsts, 0)
+		if err != nil {
+			return err
+		}
+		svfIn, svfOut, _, err := sim.TrafficOnly(benches[b], pipeline.PolicySVF, size, cfg.TrafficInsts, 0)
+		if err != nil {
+			return err
+		}
+		row := &res.Rows[b]
+		row.Bench = benches[b].ID()
+		row.SCIn[s], row.SCOut[s] = scIn, scOut
+		row.SVFIn[s], row.SVFOut[s] = svfIn, svfOut
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders Table 3.
+func (r *Table3Result) Table() *stats.Table {
+	t := stats.NewTable("benchmark",
+		"2K sc-in", "2K svf-in", "2K sc-out", "2K svf-out",
+		"4K sc-in", "4K svf-in", "4K sc-out", "4K svf-out",
+		"8K sc-in", "8K svf-in", "8K sc-out", "8K svf-out")
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench,
+			row.SCIn[0], row.SVFIn[0], row.SCOut[0], row.SVFOut[0],
+			row.SCIn[1], row.SVFIn[1], row.SCOut[1], row.SVFOut[1],
+			row.SCIn[2], row.SVFIn[2], row.SCOut[2], row.SVFOut[2])
+	}
+	return t
+}
+
+// Table4Row is one benchmark's per-context-switch writeback traffic in
+// bytes (Table 4).
+type Table4Row struct {
+	Bench string
+	// StackCacheBytes and SVFBytes are average bytes written back per
+	// context switch (period 400 000 instructions).
+	StackCacheBytes, SVFBytes uint64
+}
+
+// Ratio returns stack-cache bytes over SVF bytes (paper: 3-20×).
+func (r Table4Row) Ratio() float64 {
+	return stats.Ratio(float64(r.StackCacheBytes), float64(r.SVFBytes))
+}
+
+// Table4Result reproduces Table 4.
+type Table4Result struct {
+	Rows []Table4Row
+}
+
+// CtxSwitchPeriod is the paper's context-switch period in instructions.
+const CtxSwitchPeriod = 400_000
+
+// Table4 measures writeback traffic per context switch for 8KB structures.
+func Table4(cfg Config) (*Table4Result, error) {
+	cfg.fillDefaults()
+	res := &Table4Result{Rows: make([]Table4Row, len(cfg.Benchmarks))}
+	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
+		prof := cfg.Benchmarks[b]
+		_, _, scBytes, err := sim.TrafficOnly(prof, pipeline.PolicyStackCache, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
+		if err != nil {
+			return err
+		}
+		_, _, svfBytes, err := sim.TrafficOnly(prof, pipeline.PolicySVF, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
+		if err != nil {
+			return err
+		}
+		res.Rows[b] = Table4Row{Bench: prof.ID(), StackCacheBytes: scBytes, SVFBytes: svfBytes}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders Table 4.
+func (r *Table4Result) Table() *stats.Table {
+	t := stats.NewTable("benchmark", "stack cache (B/switch)", "SVF (B/switch)", "ratio")
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, row.StackCacheBytes, row.SVFBytes, row.Ratio())
+	}
+	return t
+}

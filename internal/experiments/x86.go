@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"svf/internal/pipeline"
+	"svf/internal/sim"
+	"svf/internal/stats"
+	"svf/internal/synth"
+)
+
+// X86Row compares one benchmark's Alpha and x86 flavours under the SVF —
+// the paper's §7 future-work question, answered.
+type X86Row struct {
+	Bench string
+	// AlphaSpeedup and X86Speedup are SVF(2+2) speedups over the
+	// same-flavour baseline.
+	AlphaSpeedup, X86Speedup float64
+	// RMWs counts the x86 run's partial-word read-modify-writes.
+	RMWs uint64
+	// AlphaFillQW and X86FillQW are the SVF fill traffics.
+	AlphaFillQW, X86FillQW uint64
+}
+
+// X86Result is the §7 extension experiment.
+type X86Result struct {
+	Rows []X86Row
+	// MeanAlpha and MeanX86 are the average speedups.
+	MeanAlpha, MeanX86 float64
+}
+
+// X86 runs every benchmark in both flavours and measures how partial-word
+// references erode the SVF's advantage.
+func X86(cfg Config) (*X86Result, error) {
+	cfg.fillDefaults()
+	res := &X86Result{Rows: make([]X86Row, len(cfg.Benchmarks))}
+	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
+		alpha := cfg.Benchmarks[b]
+		x86 := synth.X86Variant(alpha)
+		row := X86Row{Bench: alpha.ID()}
+		for _, fl := range []struct {
+			prof    *synth.Profile
+			speedup *float64
+			fill    *uint64
+			rmws    bool
+		}{
+			{alpha, &row.AlphaSpeedup, &row.AlphaFillQW, false},
+			{x86, &row.X86Speedup, &row.X86FillQW, true},
+		} {
+			base, err := sim.Run(fl.prof, sim.Options{MaxInsts: cfg.MaxInsts})
+			if err != nil {
+				return err
+			}
+			svf, err := sim.Run(fl.prof, sim.Options{
+				Policy: pipeline.PolicySVF, StackPorts: 2, MaxInsts: cfg.MaxInsts,
+			})
+			if err != nil {
+				return err
+			}
+			*fl.speedup = stats.Speedup(base.Cycles(), svf.Cycles())
+			*fl.fill = svf.SVFQWIn
+			if fl.rmws {
+				row.RMWs = svf.SVF.SubWordRMWs
+			}
+		}
+		res.Rows[b] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var a, x []float64
+	for _, row := range res.Rows {
+		a = append(a, row.AlphaSpeedup)
+		x = append(x, row.X86Speedup)
+	}
+	res.MeanAlpha, res.MeanX86 = stats.Mean(a), stats.Mean(x)
+	return res, nil
+}
+
+// Table renders the x86 comparison.
+func (r *X86Result) Table() *stats.Table {
+	t := stats.NewTable("benchmark", "alpha SVF speedup", "x86 SVF speedup", "x86 RMWs", "alpha fill QW", "x86 fill QW")
+	pct := stats.PercentImprovement
+	for _, row := range r.Rows {
+		t.AddRow(row.Bench, pct(row.AlphaSpeedup), pct(row.X86Speedup), row.RMWs, row.AlphaFillQW, row.X86FillQW)
+	}
+	t.AddRow("average (%)", pct(r.MeanAlpha), pct(r.MeanX86), "", "", "")
+	return t
+}

@@ -1,0 +1,130 @@
+package pipeline
+
+import (
+	"testing"
+
+	"svf/internal/isa"
+)
+
+// Analytic micro-validations: crafted traces whose cycle counts can be
+// reasoned about in closed form, pinning the timing model's arithmetic.
+
+// TestLoadUseChainLatency: a chain of N dependent DL1-hit loads costs
+// ~N*hitLatency cycles (3 each), since each load's address depends on the
+// previous load's result.
+func TestLoadUseChainLatency(t *testing.T) {
+	const n = 50
+	addr := uint64(0x1_4000_0000)
+	var insts []isa.Inst
+	// Warm line first.
+	insts = append(insts, isa.Inst{PC: 0xff0, Kind: isa.KindLoad, Dst: 1, Src1: 27, Base: 27, Addr: addr, Size: 8})
+	for i := 0; i < n; i++ {
+		insts = append(insts, isa.Inst{PC: 0x1000 + uint64(i*4), Kind: isa.KindLoad, Dst: 1, Src1: 1, Base: 1, Addr: addr, Size: 8})
+	}
+	// A large window so the serial chain's latency — not RUU occupancy —
+	// is the only bound.
+	mc := tinyMachine()
+	mc.RUUSize = 64
+	mc.LSQSize = 64
+	st := run(t, testEnv(t, mc, PolicyNone, 0), insts)
+	// The warm-up load cold-misses the whole hierarchy (3+16+60 = 79
+	// cycles) and heads the dependence chain; each following hop is a
+	// 3-cycle DL1 hit.
+	want := uint64(n*3 + 79)
+	if st.Cycles < want {
+		t.Errorf("chained loads finished in %d cycles, want >= %d", st.Cycles, want)
+	}
+	if st.Cycles > want+40 {
+		t.Errorf("chained loads took %d cycles, want ~%d + overhead", st.Cycles, want)
+	}
+}
+
+// TestMorphedChainLatency: the same chain via the SVF costs ~1 cycle per
+// hop — the load-use latency collapse the paper claims for morphed
+// references.
+func TestMorphedChainLatency(t *testing.T) {
+	const n = 50
+	sp := stackTop - 64
+	insts := []isa.Inst{
+		{PC: 0xff0, Kind: isa.KindSPAdjust, Imm: -64, Dst: isa.RegSP, Src1: isa.RegSP, Flags: isa.FlagSPImmediate},
+		{PC: 0xff4, Kind: isa.KindStore, Src1: 1, Base: isa.RegSP, Imm: 0, Addr: sp, Size: 8, Dst: isa.RegZero},
+	}
+	for i := 0; i < n; i++ {
+		// Dependent chain: load from the slot, feed an ALU, store back.
+		insts = append(insts,
+			isa.Inst{PC: 0x1000 + uint64(i*8), Kind: isa.KindLoad, Dst: 1, Base: isa.RegSP, Imm: 0, Addr: sp, Size: 8},
+			isa.Inst{PC: 0x1004 + uint64(i*8), Kind: isa.KindStore, Src1: 1, Base: isa.RegSP, Imm: 0, Addr: sp, Size: 8, Dst: isa.RegZero},
+		)
+	}
+	base := run(t, testEnv(t, tinyMachine(), PolicyNone, 0), insts)
+	svf := run(t, testEnv(t, tinyMachine(), PolicySVF, 2), insts)
+	// Baseline pays ~forwarding latency (3) per hop; the SVF pays ~1+1.
+	if svf.Cycles >= base.Cycles {
+		t.Errorf("morphed chain (%d cycles) should be faster than baseline (%d)", svf.Cycles, base.Cycles)
+	}
+	if ratio := float64(base.Cycles) / float64(svf.Cycles); ratio < 1.3 {
+		t.Errorf("morphed chain speedup %.2f, want >= 1.3 (3-cycle forward vs 1-cycle rename)", ratio)
+	}
+}
+
+// TestColdMissLatency: one isolated load to uncached memory costs the full
+// DL1+L2+memory chain (3+16+60) plus pipeline overhead.
+func TestColdMissLatency(t *testing.T) {
+	insts := []isa.Inst{
+		{PC: 0x1000, Kind: isa.KindLoad, Dst: 1, Src1: 27, Base: 27, Addr: 0x1_8000_0000, Size: 8},
+		{PC: 0x1004, Kind: isa.KindALU, Dst: 2, Src1: 1, Src2: isa.RegZero},
+	}
+	st := run(t, testEnv(t, tinyMachine(), PolicyNone, 0), insts)
+	if st.Cycles < 79 {
+		t.Errorf("cold miss chain finished in %d cycles, want >= 79 (3+16+60)", st.Cycles)
+	}
+	if st.Cycles > 110 {
+		t.Errorf("cold miss chain took %d cycles, overheads too large", st.Cycles)
+	}
+}
+
+// TestCommitWidthBound: completion cannot outrun the commit width even for
+// trivially parallel work.
+func TestCommitWidthBound(t *testing.T) {
+	const n = 400
+	var insts []isa.Inst
+	for i := 0; i < n; i++ {
+		insts = append(insts, mkALU(0x1000+uint64(i*4), uint8(1+i%20), isa.RegZero))
+	}
+	mc := tinyMachine()
+	mc.Width = 2
+	st := run(t, testEnv(t, mc, PolicyNone, 0), insts)
+	if st.Cycles < n/2 {
+		t.Errorf("%d instructions in %d cycles beats the width-2 commit bound", n, st.Cycles)
+	}
+}
+
+// TestStoreForwardLatencyExact: a store→load→use chain pays the configured
+// forwarding latency per hop.
+func TestStoreForwardLatencyExact(t *testing.T) {
+	addr := uint64(0x1_4000_0200)
+	mkChain := func(fwdLat int) uint64 {
+		mc := tinyMachine()
+		mc.StoreForwardLat = fwdLat
+		var insts []isa.Inst
+		insts = append(insts, isa.Inst{PC: 0xff0, Kind: isa.KindLoad, Dst: 9, Src1: 27, Base: 27, Addr: addr, Size: 8}) // warm
+		const hops = 40
+		for i := 0; i < hops; i++ {
+			insts = append(insts,
+				isa.Inst{PC: 0x1000 + uint64(i*8), Kind: isa.KindStore, Src1: 1, Src2: 27, Base: 27, Addr: addr, Size: 8, Dst: isa.RegZero},
+				isa.Inst{PC: 0x1004 + uint64(i*8), Kind: isa.KindLoad, Dst: 1, Src1: 27, Base: 27, Addr: addr, Size: 8},
+			)
+		}
+		st := run(t, testEnv(t, mc, PolicyNone, 0), insts)
+		return st.Cycles
+	}
+	slow := mkChain(6)
+	fast := mkChain(3)
+	if slow <= fast {
+		t.Errorf("doubling forwarding latency did not slow the chain: %d vs %d", slow, fast)
+	}
+	// Each of the 40 hops should cost ~3 extra cycles.
+	if diff := slow - fast; diff < 40*2 {
+		t.Errorf("forward-latency delta only %d cycles over 40 hops", diff)
+	}
+}

@@ -1,0 +1,824 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"svf/internal/isa"
+	"svf/internal/trace"
+)
+
+// entryState is an RUU entry's lifecycle position.
+type entryState uint8
+
+const (
+	stFree entryState = iota
+	stDispatched
+	stIssued
+)
+
+// dep names a producing RUU entry; seq disambiguates slot reuse.
+type dep struct {
+	idx int32
+	seq uint64
+}
+
+const noDep = int32(-1)
+
+// route says which structure services a memory reference.
+type route uint8
+
+const (
+	routeNone route = iota
+	routeDL1
+	routeStack // decoupled stack cache
+	routeSVF
+	routeRSE // register stack engine
+)
+
+// ruuEntry is one in-flight instruction.
+type ruuEntry struct {
+	inst       isa.Inst
+	seq        uint64
+	state      entryState
+	completeAt uint64
+	deps       [3]dep
+	ndeps      int8
+
+	route      route
+	rerouted   bool // SVF access that needed the post-AGEN bounds check
+	forwarded  bool // load satisfied by LSQ store forwarding
+	mispredict bool // conditional branch the predictor got wrong
+	needsAGEN  bool // consumes an extra issue slot + ALU for address generation
+	memLat     int32
+	lsqIdx     int32
+}
+
+// lsqEntry is one in-flight memory operation, in program order.
+type lsqEntry struct {
+	addr    uint64
+	seq     uint64
+	ruuIdx  int32
+	isStore bool
+	// gprStore marks stores that reached the SVF through a
+	// general-purpose register (the §3.2 collision hazard).
+	gprStore bool
+}
+
+// ifqEntry is one fetched instruction waiting to dispatch.
+type ifqEntry struct {
+	inst       isa.Inst
+	fetchedAt  uint64
+	mispredict bool
+}
+
+// Stats are the counters of one pipeline run.
+type Stats struct {
+	// Cycles is the total execution time.
+	Cycles uint64
+	// Committed is the number of retired instructions.
+	Committed uint64
+	// Fetched counts instructions entering the IFQ.
+	Fetched uint64
+	// Mispredicts counts mispredicted conditional branches.
+	Mispredicts uint64
+	// Branches counts conditional branches.
+	Branches uint64
+	// Squashes counts $gpr-store/$sp-load collision squashes (§3.2).
+	Squashes uint64
+	// Interlocks counts decode stalls on non-immediate $sp updates.
+	Interlocks uint64
+	// DL1PortConflicts and StackPortConflicts count issue attempts
+	// blocked on ports.
+	DL1PortConflicts, StackPortConflicts uint64
+	// IL1Misses counts instruction-cache misses (the Table 2 IL1 is
+	// large enough that these are rare after warm-up).
+	IL1Misses uint64
+	// RUUFullStalls and LSQFullStalls count dispatch cycles lost to
+	// full windows.
+	RUUFullStalls, LSQFullStalls uint64
+	// MemRefs counts memory instructions committed.
+	MemRefs uint64
+	// DL1Refs, StackRefs, SVFRefs split MemRefs by servicing structure.
+	DL1Refs, StackRefs, SVFRefs uint64
+	// Forwards counts LSQ store-to-load forwards.
+	Forwards uint64
+	// CtxSwitches counts context switches taken.
+	CtxSwitches uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// Pipeline is one configured machine instance. Create with New, drive with
+// Run.
+type Pipeline struct {
+	cfg MachineConfig
+	env Env
+
+	// RUU circular buffer.
+	ruu      []ruuEntry
+	ruuHead  int
+	ruuCount int
+	// LSQ circular buffer.
+	lsq      []lsqEntry
+	lsqHead  int
+	lsqCount int
+	// IFQ circular buffer.
+	ifq      []ifqEntry
+	ifqHead  int
+	ifqCount int
+
+	cycle   uint64
+	seq     uint64
+	stats   Stats
+	drained bool
+	// issueSkip is the RUU offset (from the head) below which every
+	// entry has already issued; entries never revert from issued, so
+	// the issue scan can start here. Commit shifts it with the head.
+	issueSkip int
+
+	// regProd maps architectural registers to their youngest producer.
+	regProd [isa.NumRegs]dep
+	// svfProd maps SVF entry indices to the youngest morphed store, the
+	// renaming that forwards stack values at register speed.
+	svfProd     []dep
+	svfProdMask uint64
+
+	// decSP is the decode stage's speculative $sp copy.
+	decSP      uint64
+	decSPKnown bool
+
+	// Front-end stall machinery.
+	fetchBlocked   bool
+	fetchResumeAt  uint64 // 0 = waiting for the branch to issue
+	dispatchHoldTo uint64 // squash bubble
+	interlock      dep    // non-immediate $sp update being waited on
+	// fetchBlock is the IL1 line currently being fetched from; crossing
+	// into a new line probes the instruction cache.
+	fetchBlock   uint64
+	fetchStallTo uint64 // IL1 miss service
+
+	nextCtxSwitch uint64
+}
+
+// New builds a pipeline for the environment.
+func New(env Env) (*Pipeline, error) {
+	if err := env.Machine.Validate(); err != nil {
+		return nil, err
+	}
+	if env.Hier == nil {
+		return nil, fmt.Errorf("pipeline: nil memory hierarchy")
+	}
+	if env.Pred == nil {
+		return nil, fmt.Errorf("pipeline: nil branch predictor")
+	}
+	switch env.Stack.Policy {
+	case PolicySVF:
+		if env.Stack.SVF == nil {
+			return nil, fmt.Errorf("pipeline: SVF policy with nil SVF")
+		}
+	case PolicyStackCache:
+		if env.Stack.SC == nil {
+			return nil, fmt.Errorf("pipeline: stack-cache policy with nil stack cache")
+		}
+	case PolicyRSE:
+		if env.Stack.RSE == nil {
+			return nil, fmt.Errorf("pipeline: RSE policy with nil engine")
+		}
+	}
+	p := &Pipeline{
+		cfg: env.Machine,
+		env: env,
+		ruu: make([]ruuEntry, env.Machine.RUUSize),
+		lsq: make([]lsqEntry, env.Machine.LSQSize),
+		ifq: make([]ifqEntry, env.Machine.IFQSize),
+	}
+	for i := range p.regProd {
+		p.regProd[i] = dep{idx: noDep}
+	}
+	if env.Stack.Policy == PolicySVF {
+		n := env.Stack.SVF.Entries()
+		if n == 0 {
+			n = 1 << 16 // infinite SVF: hash the index space
+		}
+		p.svfProd = make([]dep, n)
+		p.svfProdMask = uint64(n - 1)
+		for i := range p.svfProd {
+			p.svfProd[i] = dep{idx: noDep}
+		}
+	}
+	if env.CtxSwitchPeriod > 0 {
+		p.nextCtxSwitch = env.CtxSwitchPeriod
+	}
+	p.interlock = dep{idx: noDep}
+	return p, nil
+}
+
+// Stats returns the counters so far.
+func (p *Pipeline) Stats() Stats { return p.stats }
+
+// Run drives the pipeline until maxInsts instructions commit or the stream
+// ends, returning the final statistics.
+func (p *Pipeline) Run(s trace.Stream, maxInsts uint64) (Stats, error) {
+	lastCommit := uint64(0)
+	lastCommitted := uint64(0)
+	for p.stats.Committed < maxInsts {
+		if p.drained && p.ruuCount == 0 && p.ifqCount == 0 {
+			break
+		}
+		p.cycle++
+		p.commit()
+		p.issue()
+		p.dispatch()
+		p.fetch(s)
+		if p.stats.Committed != lastCommitted {
+			lastCommitted = p.stats.Committed
+			lastCommit = p.cycle
+		} else if p.cycle-lastCommit > 200_000 {
+			return p.stats, fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (deadlock?)", p.cycle-lastCommit, p.cycle)
+		}
+	}
+	p.stats.Cycles = p.cycle
+	return p.stats, nil
+}
+
+// done reports whether a dependency has produced its value by now.
+func (p *Pipeline) done(d dep) bool {
+	if d.idx == noDep {
+		return true
+	}
+	e := &p.ruu[d.idx]
+	if e.state == stFree || e.seq != d.seq {
+		return true // producer already committed
+	}
+	return e.state == stIssued && e.completeAt <= p.cycle
+}
+
+func (p *Pipeline) entryDone(e *ruuEntry) bool {
+	return e.state == stIssued && e.completeAt <= p.cycle
+}
+
+// ---- commit ----
+
+func (p *Pipeline) commit() {
+	for n := 0; n < p.cfg.Width && p.ruuCount > 0; n++ {
+		e := &p.ruu[p.ruuHead]
+		if !p.entryDone(e) {
+			return
+		}
+		if e.inst.IsMem() {
+			p.stats.MemRefs++
+			switch e.route {
+			case routeDL1:
+				p.stats.DL1Refs++
+			case routeStack:
+				p.stats.StackRefs++
+			case routeSVF, routeRSE:
+				p.stats.SVFRefs++
+			}
+			// The LSQ retires in program order with its RUU entries.
+			if p.lsqCount > 0 && p.lsq[p.lsqHead].seq == e.seq {
+				p.lsqHead = (p.lsqHead + 1) % len(p.lsq)
+				p.lsqCount--
+			}
+		}
+		e.state = stFree
+		p.ruuHead = (p.ruuHead + 1) % len(p.ruu)
+		p.ruuCount--
+		if p.issueSkip > 0 {
+			p.issueSkip--
+		}
+		p.stats.Committed++
+
+		if p.nextCtxSwitch > 0 && p.stats.Committed >= p.nextCtxSwitch {
+			p.contextSwitch()
+			p.nextCtxSwitch += p.env.CtxSwitchPeriod
+		}
+	}
+}
+
+func (p *Pipeline) contextSwitch() {
+	p.stats.CtxSwitches++
+	switch p.env.Stack.Policy {
+	case PolicySVF:
+		p.env.Stack.SVF.ContextSwitch()
+	case PolicyStackCache:
+		p.env.Stack.SC.ContextSwitch()
+	case PolicyRSE:
+		p.env.Stack.RSE.ContextSwitch()
+		p.dispatchHoldTo = p.cycle + uint64(p.env.Stack.RSE.TakePenalty())
+	}
+}
+
+// ---- issue ----
+
+func (p *Pipeline) issue() {
+	issued := 0
+	dl1Ports := 0
+	stackPorts := 0
+	alu := 0
+	mult := 0
+	var banksBusy uint64 // bitmap of SVF banks used this cycle
+	firstDispatched := -1
+	k := p.issueSkip
+	for ; k < p.ruuCount && issued < p.cfg.Width; k++ {
+		i := (p.ruuHead + k) % len(p.ruu)
+		e := &p.ruu[i]
+		if e.state != stDispatched {
+			continue
+		}
+		if firstDispatched < 0 {
+			firstDispatched = k
+		}
+		ready := true
+		for d := int8(0); d < e.ndeps; d++ {
+			if !p.done(e.deps[d]) {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		// Resource acquisition.
+		var lat int
+		switch {
+		case e.inst.IsMem():
+			// Address generation occupies an extra issue slot and an
+			// ALU; morphed SVF references resolve their address in
+			// decode and skip it (§3.1).
+			slots := 1
+			if e.needsAGEN {
+				if alu >= p.cfg.IntALU || issued+2 > p.cfg.Width {
+					continue
+				}
+				slots = 2
+			}
+			switch e.route {
+			case routeDL1:
+				if dl1Ports >= p.cfg.DL1Ports {
+					p.stats.DL1PortConflicts++
+					continue
+				}
+				dl1Ports++
+			case routeStack, routeSVF, routeRSE:
+				// A banked SVF serves one access per bank per cycle
+				// (§7); otherwise port accounting is in half-port
+				// units: loads need a full port; morphed SVF stores
+				// (and RSE register writes) drain through the banked
+				// store path at half a port's cost.
+				if e.route == routeSVF && p.env.Stack.SVF.Config().Banks > 0 {
+					bit := uint64(1) << uint(p.env.Stack.SVF.Bank(e.inst.Addr))
+					if banksBusy&bit != 0 {
+						p.stats.StackPortConflicts++
+						continue
+					}
+					banksBusy |= bit
+					break
+				}
+				cost := 2
+				if (e.route == routeSVF || e.route == routeRSE) && !e.rerouted && e.inst.Kind == isa.KindStore {
+					cost = 1
+				}
+				if p.env.Stack.Ports > 0 && stackPorts+cost > 2*p.env.Stack.Ports {
+					p.stats.StackPortConflicts++
+					continue
+				}
+				stackPorts += cost
+			}
+			if e.needsAGEN {
+				alu++
+			}
+			issued += slots - 1
+			lat = int(e.memLat)
+		case e.inst.Kind == isa.KindMult:
+			if mult >= p.cfg.IntMult {
+				continue
+			}
+			mult++
+			lat = p.cfg.MultLat
+		default:
+			if alu >= p.cfg.IntALU {
+				continue
+			}
+			alu++
+			lat = p.cfg.ALULat
+		}
+		e.state = stIssued
+		e.completeAt = p.cycle + uint64(lat)
+		issued++
+		if e.mispredict {
+			// The front end refetches once the branch resolves.
+			p.fetchResumeAt = e.completeAt + uint64(p.cfg.MispredictPenalty)
+		}
+	}
+	if firstDispatched >= 0 {
+		p.issueSkip = firstDispatched
+	} else {
+		p.issueSkip = k
+	}
+}
+
+// ---- dispatch ----
+
+func (p *Pipeline) dispatch() {
+	if p.cycle < p.dispatchHoldTo {
+		return
+	}
+	if p.interlock.idx != noDep {
+		if !p.done(p.interlock) {
+			p.stats.Interlocks++
+			return
+		}
+		p.interlock = dep{idx: noDep}
+	}
+	for n := 0; n < p.cfg.Width && p.ifqCount > 0; n++ {
+		fe := &p.ifq[p.ifqHead]
+		if fe.fetchedAt >= p.cycle {
+			return // still in decode
+		}
+		if p.ruuCount >= len(p.ruu) {
+			p.stats.RUUFullStalls++
+			return
+		}
+		if fe.inst.IsMem() && p.lsqCount >= len(p.lsq) {
+			p.stats.LSQFullStalls++
+			return
+		}
+		inst := fe.inst
+		mis := fe.mispredict
+		p.ifqHead = (p.ifqHead + 1) % len(p.ifq)
+		p.ifqCount--
+
+		idx := (p.ruuHead + p.ruuCount) % len(p.ruu)
+		p.ruuCount++
+		p.seq++
+		e := &p.ruu[idx]
+		*e = ruuEntry{inst: inst, seq: p.seq, state: stDispatched, mispredict: mis, lsqIdx: -1}
+
+		stallAfter := p.dispatchInst(e, int32(idx))
+		if stallAfter {
+			return
+		}
+	}
+}
+
+// addDep records a dependency on the youngest producer of reg.
+func (p *Pipeline) addDep(e *ruuEntry, reg uint8) {
+	if reg == isa.RegZero {
+		return
+	}
+	d := p.regProd[reg]
+	if d.idx == noDep {
+		return
+	}
+	e.deps[e.ndeps] = d
+	e.ndeps++
+}
+
+func (p *Pipeline) addDepRaw(e *ruuEntry, d dep) {
+	if d.idx == noDep {
+		return
+	}
+	e.deps[e.ndeps] = d
+	e.ndeps++
+}
+
+// setProducer marks e as the youngest writer of reg.
+func (p *Pipeline) setProducer(reg uint8, idx int32, seq uint64) {
+	if reg == isa.RegZero {
+		return
+	}
+	p.regProd[reg] = dep{idx: idx, seq: seq}
+}
+
+// dispatchInst fills in routing, dependencies and functional effects for a
+// newly allocated entry. It reports whether dispatch must stop afterwards
+// (interlock or squash bubble).
+func (p *Pipeline) dispatchInst(e *ruuEntry, idx int32) bool {
+	inst := &e.inst
+	switch inst.Kind {
+	case isa.KindSPAdjust:
+		return p.dispatchSPAdjust(e, idx)
+	case isa.KindLoad, isa.KindStore:
+		return p.dispatchMem(e, idx)
+	case isa.KindBranch:
+		p.addDep(e, inst.Src1)
+		return false
+	case isa.KindCall:
+		p.setProducer(inst.Dst, idx, e.seq)
+		return false
+	case isa.KindReturn:
+		p.addDep(e, inst.Src1)
+		return false
+	default: // ALU, Mult, Jump, Nop
+		p.addDep(e, inst.Src1)
+		p.addDep(e, inst.Src2)
+		p.setProducer(inst.Dst, idx, e.seq)
+		return false
+	}
+}
+
+func (p *Pipeline) dispatchSPAdjust(e *ruuEntry, idx int32) bool {
+	inst := &e.inst
+	if inst.SPImmediate() {
+		// Tracked by the decode stage's speculative $sp copy: no
+		// register dependency for downstream morphing.
+		p.addDep(e, inst.Src1)
+	} else {
+		p.addDep(e, inst.Src1)
+		p.addDep(e, inst.Src2)
+	}
+	// Update the decode-stage $sp shadow (and the SVF window / RSE
+	// frame stack).
+	if p.decSPKnown {
+		oldSP := p.decSP
+		p.decSP = uint64(int64(p.decSP) + int64(inst.Imm))
+		switch p.env.Stack.Policy {
+		case PolicySVF:
+			p.env.Stack.SVF.NotifySPUpdate(oldSP, p.decSP)
+		case PolicyRSE:
+			p.env.Stack.RSE.NotifySPUpdate(oldSP, p.decSP)
+			if pen := p.env.Stack.RSE.TakePenalty(); pen > 0 {
+				// Overflow/underflow occupies the spill/fill engine;
+				// the front end stalls behind it.
+				p.dispatchHoldTo = p.cycle + uint64(pen)
+			}
+		}
+	}
+	p.setProducer(isa.RegSP, idx, e.seq)
+	if !inst.SPImmediate() && p.env.Stack.Policy == PolicySVF {
+		// §3.1: the decode interlock stalls until the computed $sp
+		// value resolves.
+		p.interlock = dep{idx: idx, seq: e.seq}
+		return true
+	}
+	return false
+}
+
+// anchorSP initialises the decode $sp shadow from an $sp-relative
+// reference's resolved address.
+func (p *Pipeline) anchorSP(inst *isa.Inst) {
+	sp := inst.Addr - uint64(int64(inst.Imm))
+	if !p.decSPKnown {
+		p.decSP = sp
+		p.decSPKnown = true
+		switch p.env.Stack.Policy {
+		case PolicySVF:
+			p.env.Stack.SVF.NotifySPUpdate(sp, sp)
+		case PolicyRSE:
+			p.env.Stack.RSE.NotifySPUpdate(sp, sp)
+		}
+		return
+	}
+	if p.decSP != sp {
+		panic(fmt.Sprintf("pipeline: $sp shadow %#x disagrees with trace (%#x at pc %#x)", p.decSP, sp, inst.PC))
+	}
+}
+
+func (p *Pipeline) dispatchMem(e *ruuEntry, idx int32) bool {
+	inst := &e.inst
+	isStore := inst.Kind == isa.KindStore
+	if inst.SPRelative() {
+		p.anchorSP(inst)
+	}
+	inStack := p.env.Layout.InStack(inst.Addr)
+
+	// Routing decision.
+	e.route = routeDL1
+	switch p.env.Stack.Policy {
+	case PolicySVF:
+		if inStack && p.env.Stack.SVF.Contains(inst.Addr) {
+			e.route = routeSVF
+			e.rerouted = !inst.SPRelative()
+			if p.env.Stack.SVF.Config().Infinite {
+				// Figure 5's limit study assumes every stack
+				// reference morphs into a register move.
+				e.rerouted = false
+			}
+			if p.cfg.NoMorph {
+				// Ablation: no decode-stage morphing; everything
+				// reaches the SVF only after address generation.
+				e.rerouted = true
+			}
+		}
+	case PolicyStackCache:
+		if inStack {
+			e.route = routeStack
+		}
+	case PolicyRSE:
+		// Registers are not memory-addressable: only $sp-relative
+		// references to resident frames are served; everything else —
+		// pointer-addressed locals, spilled frames — uses the cache.
+		if inst.SPRelative() && p.env.Stack.RSE.Resident(inst.Addr) {
+			e.route = routeRSE
+		}
+	}
+
+	// Dependencies.
+	dropBase := false
+	if e.route == routeSVF && !e.rerouted {
+		// Morphed: the address comes from the decode-stage $sp copy.
+		dropBase = true
+	}
+	if p.cfg.NoAddrCalcOp && inStack && inst.SPRelative() {
+		dropBase = true
+	}
+	if inst.SPRelative() && (p.env.Stack.Policy == PolicySVF || p.env.Stack.Policy == PolicyRSE) {
+		// Even outside the window, $sp+imm resolves in decode.
+		dropBase = true
+	}
+	e.needsAGEN = !dropBase
+	if isStore {
+		p.addDep(e, inst.Src1) // data
+		if !dropBase {
+			p.addDep(e, inst.Base)
+		}
+	} else if !dropBase {
+		p.addDep(e, inst.Base)
+	}
+
+	squash := false
+	switch {
+	case e.route == routeSVF && !e.rerouted:
+		svfIdx := (inst.Addr / isa.WordSize) & p.svfProdMask
+		if !isStore {
+			// Morphed load: renamed against the youngest morphed
+			// store to the same SVF register.
+			p.addDepRaw(e, p.svfProd[svfIdx])
+			// §3.2 hazard: an older in-flight $gpr store to the same
+			// address is invisible to the renamer; detect and squash.
+			if si := p.findLSQStore(inst.Addr, true); si >= 0 && !p.env.Stack.SVF.Config().Infinite {
+				p.stats.Squashes++
+				p.addDepRaw(e, dep{idx: p.lsq[si].ruuIdx, seq: p.lsq[si].seq})
+				if !p.cfg.NoSquash {
+					squash = true
+				}
+			}
+		}
+		e.memLat = int32(p.env.Stack.SVF.AccessSized(inst.Addr, int(inst.Size), isStore, false))
+		if isStore {
+			p.svfProd[svfIdx] = dep{idx: idx, seq: e.seq}
+		}
+	case e.route == routeRSE:
+		lat, ok := p.env.Stack.RSE.Access(inst.Addr, isStore)
+		if !ok {
+			// Raced out of residency between routing and access;
+			// fall back to the cache.
+			e.route = routeDL1
+			e.memLat = p.accessMem(e, inst, isStore)
+			break
+		}
+		e.memLat = int32(lat)
+	case e.route == routeSVF:
+		// Rerouted into the SVF after address generation and the bounds
+		// check (§3.2). LSQ forwarding still applies to loads.
+		if !isStore {
+			if si := p.findLSQStore(inst.Addr, false); si >= 0 {
+				e.forwarded = true
+				p.stats.Forwards++
+				p.addDepRaw(e, dep{idx: p.lsq[si].ruuIdx, seq: p.lsq[si].seq})
+				e.memLat = int32(p.cfg.StoreForwardLat)
+				break
+			}
+		}
+		e.memLat = int32(p.env.Stack.SVF.AccessSized(inst.Addr, int(inst.Size), isStore, true))
+	default:
+		e.memLat = p.accessMem(e, inst, isStore)
+	}
+
+	// Every memory reference occupies an LSQ slot, including morphed
+	// references (their disambiguation uop, §3.2).
+	li := (p.lsqHead + p.lsqCount) % len(p.lsq)
+	p.lsq[li] = lsqEntry{
+		addr:     inst.Addr,
+		seq:      e.seq,
+		ruuIdx:   idx,
+		isStore:  isStore,
+		gprStore: isStore && !inst.SPRelative() && inStack,
+	}
+	p.lsqCount++
+	e.lsqIdx = int32(li)
+
+	if !isStore {
+		p.setProducer(inst.Dst, idx, e.seq)
+	}
+	if squash {
+		// Pipeline flush and re-execution, charged as a front-end
+		// bubble.
+		p.dispatchHoldTo = p.cycle + uint64(p.cfg.SquashPenalty)
+		return true
+	}
+	return false
+}
+
+// accessMem performs the functional access for DL1/stack-cache routes,
+// applying store-to-load forwarding, and returns the load-use latency.
+func (p *Pipeline) accessMem(e *ruuEntry, inst *isa.Inst, isStore bool) int32 {
+	if !isStore {
+		if si := p.findLSQStore(inst.Addr, false); si >= 0 {
+			// LSQ forwarding: the load's value comes from the store
+			// buffer after the forwarding delay.
+			e.forwarded = true
+			p.stats.Forwards++
+			p.addDepRaw(e, dep{idx: p.lsq[si].ruuIdx, seq: p.lsq[si].seq})
+			return int32(p.cfg.StoreForwardLat)
+		}
+	}
+	var lat int
+	switch e.route {
+	case routeStack:
+		lat = p.env.Stack.SC.Access(inst.Addr, isStore)
+		if isStore && lat > p.env.Stack.SC.Config().HitLatency {
+			// A stack-cache write miss must read the rest of the line
+			// before the write completes (§5.3.2); the fill occupies
+			// the small structure's port, so the store cannot slip
+			// into a write buffer. The SVF's allocation kills make
+			// the equivalent first store to a new frame free.
+			return int32(lat)
+		}
+	default:
+		lat = p.env.Hier.DL1.Access(inst.Addr, isStore)
+	}
+	if isStore {
+		// Stores retire into the store buffer; the fill happens off
+		// the critical path.
+		return 1
+	}
+	return int32(lat)
+}
+
+// findLSQStore scans the LSQ youngest-first for an in-flight store to addr.
+// gprOnly restricts the search to $gpr-addressed stack stores (the §3.2
+// collision hazard).
+func (p *Pipeline) findLSQStore(addr uint64, gprOnly bool) int {
+	for k := p.lsqCount - 1; k >= 0; k-- {
+		i := (p.lsqHead + k) % len(p.lsq)
+		le := &p.lsq[i]
+		if !le.isStore || le.addr != addr {
+			continue
+		}
+		if gprOnly && !le.gprStore {
+			continue
+		}
+		return i
+	}
+	return -1
+}
+
+// ---- fetch ----
+
+func (p *Pipeline) fetch(s trace.Stream) {
+	if p.fetchBlocked {
+		if p.fetchResumeAt == 0 || p.cycle < p.fetchResumeAt {
+			return
+		}
+		p.fetchBlocked = false
+		p.fetchResumeAt = 0
+	}
+	if p.cycle < p.fetchStallTo {
+		return // instruction-cache miss in service
+	}
+	for n := 0; n < p.cfg.Width && p.ifqCount < len(p.ifq); n++ {
+		if p.drained {
+			return
+		}
+		var inst isa.Inst
+		if !s.Next(&inst) {
+			p.drained = true
+			return
+		}
+		p.stats.Fetched++
+		// Crossing into a new IL1 line probes the instruction cache; a
+		// miss stalls the front end for the fill.
+		if blk := inst.PC &^ 63; blk != p.fetchBlock {
+			p.fetchBlock = blk
+			lat := p.env.Hier.IL1.Access(inst.PC, false)
+			if il1Hit := p.env.Hier.IL1.Config().HitLatency; lat > il1Hit {
+				p.stats.IL1Misses++
+				p.fetchStallTo = p.cycle + uint64(lat-il1Hit)
+			}
+		}
+		fe := &p.ifq[(p.ifqHead+p.ifqCount)%len(p.ifq)]
+		*fe = ifqEntry{inst: inst, fetchedAt: p.cycle}
+		p.ifqCount++
+		if inst.Kind == isa.KindBranch {
+			p.stats.Branches++
+			actual := inst.Taken()
+			pred := p.env.Pred.Predict(inst.PC, actual)
+			p.env.Pred.Update(inst.PC, actual)
+			if pred != actual {
+				p.stats.Mispredicts++
+				fe.mispredict = true
+				p.fetchBlocked = true
+				p.fetchResumeAt = 0 // resumes when the branch issues
+				return
+			}
+		}
+	}
+}

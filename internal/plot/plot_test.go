@@ -1,0 +1,270 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNiceTicks(t *testing.T) {
+	cases := []struct {
+		lo, hi float64
+		n      int
+	}{
+		{0, 100, 5}, {0, 1, 5}, {0, 0.037, 4}, {-50, 130, 5}, {3, 3, 4}, {0, 1e7, 5},
+	}
+	for _, c := range cases {
+		ticks := niceTicks(c.lo, c.hi, c.n)
+		if len(ticks) < 2 {
+			t.Errorf("niceTicks(%g, %g): only %d ticks", c.lo, c.hi, len(ticks))
+			continue
+		}
+		// Ticks ascend with a constant step.
+		step := ticks[1] - ticks[0]
+		for i := 1; i < len(ticks); i++ {
+			if d := ticks[i] - ticks[i-1]; math.Abs(d-step) > step*1e-9 {
+				t.Errorf("niceTicks(%g, %g): uneven steps %g vs %g", c.lo, c.hi, d, step)
+			}
+		}
+		// Coverage: first tick <= lo+step, last tick >= hi-step.
+		if ticks[0] > c.lo+step/2 {
+			t.Errorf("niceTicks(%g, %g): first tick %g misses lo", c.lo, c.hi, ticks[0])
+		}
+		if ticks[len(ticks)-1] < c.hi-step/2 {
+			t.Errorf("niceTicks(%g, %g): last tick %g misses hi", c.lo, c.hi, ticks[len(ticks)-1])
+		}
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		5:       "5",
+		2500000: "2.5M",
+		12000:   "12k",
+		0.25:    "0.25",
+		-12000:  "-12k",
+		1000000: "1M",
+	}
+	for v, want := range cases {
+		if got := formatTick(v); got != want {
+			t.Errorf("formatTick(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := LineChart{
+		Title:  "depth over time",
+		XLabel: "instructions",
+		YLabel: "depth (words)",
+		Series: []Series{
+			{Name: "crafty", X: []float64{0, 1, 2, 3}, Y: []float64{0, 100, 400, 300}},
+			{Name: "gcc", X: []float64{0, 1, 2, 3}, Y: []float64{0, 900, 3000, 1200}},
+		},
+	}
+	svg := c.SVG()
+	for _, want := range []string{
+		"<svg", "</svg>", "depth over time", "polyline",
+		seriesColors[0], seriesColors[1], // fixed-order assignment
+		"crafty", "gcc", // legend entries (2 series → legend required)
+		"instructions", "depth (words)",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if n := strings.Count(svg, "<polyline"); n != 2 {
+		t.Errorf("expected 2 polylines, got %d", n)
+	}
+}
+
+func TestLineChartSingleSeriesNoLegend(t *testing.T) {
+	c := LineChart{
+		Title:  "one",
+		Series: []Series{{Name: "solo", X: []float64{0, 1}, Y: []float64{1, 2}}},
+	}
+	svg := c.SVG()
+	// A single series needs no legend box — the title names it.
+	if strings.Contains(svg, ">solo<") {
+		t.Error("single-series chart should not render a legend entry")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	svg := LineChart{Title: "empty"}.SVG()
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "</svg>") {
+		t.Error("empty chart should still render a valid frame")
+	}
+}
+
+func TestLineChartLogX(t *testing.T) {
+	c := LineChart{
+		Title: "cdf",
+		LogX:  true,
+		Series: []Series{
+			{Name: "a", X: []float64{8, 64, 512, 8192}, Y: []float64{0.1, 0.5, 0.9, 1}},
+			{Name: "b", X: []float64{0, 8, 64}, Y: []float64{0, 0.2, 0.9}}, // zero x dropped
+		},
+	}
+	svg := c.SVG()
+	if !strings.Contains(svg, "polyline") {
+		t.Error("log chart lost its lines")
+	}
+}
+
+func TestLineChartPointsWithinViewport(t *testing.T) {
+	c := LineChart{
+		Title:  "bounds",
+		Width:  400,
+		Height: 300,
+		Series: []Series{{Name: "s", X: []float64{0, 10, 20}, Y: []float64{5, 50, 25}}},
+	}
+	svg := c.SVG()
+	// Extract polyline points and verify they fall inside the viewport.
+	i := strings.Index(svg, `points="`)
+	if i < 0 {
+		t.Fatal("no points attribute")
+	}
+	rest := svg[i+len(`points="`):]
+	pts := rest[:strings.Index(rest, `"`)]
+	for _, p := range strings.Fields(pts) {
+		var x, y float64
+		if _, err := fmtSscanf(p, &x, &y); err != nil {
+			t.Fatalf("bad point %q", p)
+		}
+		if x < 0 || x > 400 || y < 0 || y > 300 {
+			t.Errorf("point (%g, %g) outside 400x300 viewport", x, y)
+		}
+	}
+}
+
+func fmtSscanf(p string, x, y *float64) (int, error) {
+	parts := strings.Split(p, ",")
+	if len(parts) != 2 {
+		return 0, strErr("want x,y")
+	}
+	if _, err := sscan(parts[0], x); err != nil {
+		return 0, err
+	}
+	if _, err := sscan(parts[1], y); err != nil {
+		return 1, err
+	}
+	return 2, nil
+}
+
+type strErr string
+
+func (e strErr) Error() string { return string(e) }
+
+func sscan(s string, f *float64) (int, error) {
+	var v float64
+	var neg bool
+	i := 0
+	if i < len(s) && s[i] == '-' {
+		neg = true
+		i++
+	}
+	seen := false
+	frac := 0.0
+	scale := 0.1
+	dot := false
+	for ; i < len(s); i++ {
+		ch := s[i]
+		if ch == '.' {
+			dot = true
+			continue
+		}
+		if ch < '0' || ch > '9' {
+			return 0, strErr("bad float " + s)
+		}
+		seen = true
+		if dot {
+			frac += float64(ch-'0') * scale
+			scale /= 10
+		} else {
+			v = v*10 + float64(ch-'0')
+		}
+	}
+	if !seen {
+		return 0, strErr("empty float")
+	}
+	v += frac
+	if neg {
+		v = -v
+	}
+	*f = v
+	return 1, nil
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := BarChart{
+		Title:      "speedups",
+		YLabel:     "% improvement",
+		Categories: []string{"bzip2", "crafty", "eon"},
+		Groups: []BarGroup{
+			{Name: "svf(2+2)", Values: []float64{21, 34, 19}},
+			{Name: "stack$(2+2)", Values: []float64{19, 39, 34}},
+		},
+	}
+	svg := c.SVG()
+	for _, want := range []string{"speedups", "% improvement", "bzip2", "crafty", "eon", "svf(2+2)", "stack$(2+2)"} {
+		if !strings.Contains(svg, esc(want)) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 3 categories × 2 groups = 6 positive bars (rounded-top paths).
+	if n := strings.Count(svg, "<path"); n != 6 {
+		t.Errorf("expected 6 bar paths, got %d", n)
+	}
+}
+
+func TestBarChartNegativeValues(t *testing.T) {
+	c := BarChart{
+		Title:      "mixed",
+		Categories: []string{"a", "b"},
+		Groups:     []BarGroup{{Name: "g", Values: []float64{10, -5}}},
+	}
+	svg := c.SVG()
+	// Negative bars render as plain rects hanging below the baseline.
+	if !strings.Contains(svg, "<rect x=") {
+		t.Error("negative bar missing")
+	}
+	if !strings.Contains(svg, "<path") {
+		t.Error("positive bar missing")
+	}
+}
+
+func TestBarChartEmpty(t *testing.T) {
+	svg := BarChart{Title: "none"}.SVG()
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("empty bar chart should render a frame")
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := LineChart{Title: `a<b>&"c"`}
+	svg := c.SVG()
+	if strings.Contains(svg, `a<b>`) {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&gt;&amp;&quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestFixedColorOrder(t *testing.T) {
+	// Color follows the series position, never the data: the first series
+	// is always slot 1 (blue), the second slot 2 (aqua).
+	c := BarChart{
+		Title:      "order",
+		Categories: []string{"x"},
+		Groups:     []BarGroup{{Name: "first", Values: []float64{1}}, {Name: "second", Values: []float64{2}}},
+	}
+	svg := c.SVG()
+	i1 := strings.Index(svg, seriesColors[0])
+	i2 := strings.Index(svg, seriesColors[1])
+	if i1 < 0 || i2 < 0 || i1 > i2 {
+		t.Error("categorical slots not assigned in fixed order")
+	}
+}

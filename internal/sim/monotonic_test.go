@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+
+	"svf/internal/pipeline"
+	"svf/internal/synth"
+)
+
+// TestPortMonotonicity: adding data-cache ports never makes a run slower
+// (small tolerance for second-order reordering effects in the issue scan).
+func TestPortMonotonicity(t *testing.T) {
+	for _, prof := range []*synth.Profile{synth.Crafty(), synth.Eon(), synth.Gcc()} {
+		var prev uint64
+		for _, ports := range []int{1, 2, 4} {
+			r, err := Run(prof, Options{DL1Ports: ports, MaxInsts: 60_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prev != 0 && float64(r.Cycles()) > float64(prev)*1.02 {
+				t.Errorf("%s: %d ports took %d cycles, %d ports took %d — not monotone",
+					prof.ID(), ports, r.Cycles(), ports/2, prev)
+			}
+			prev = r.Cycles()
+		}
+	}
+}
+
+// TestSVFSizeTrafficMonotonicity: a larger SVF never moves more quadwords
+// (window slides can only shrink with capacity).
+func TestSVFSizeTrafficMonotonicity(t *testing.T) {
+	for _, prof := range []*synth.Profile{synth.Gcc(), synth.Perlbmk(), synth.Bzip2()} {
+		var prev uint64 = ^uint64(0)
+		for _, kb := range []int{1, 2, 4, 8, 16} {
+			in, out, _, err := TrafficOnly(prof, pipeline.PolicySVF, kb<<10, 400_000, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total := in + out
+			if float64(total) > float64(prev)*1.05 {
+				t.Errorf("%s: %dKB SVF moved %d QW, more than the next-smaller size's %d", prof.ID(), kb, total, prev)
+			}
+			prev = total
+		}
+	}
+}
+
+// TestWidthScaling: wider Table 2 machines never run longer on the same
+// trace.
+func TestWidthScaling(t *testing.T) {
+	prof := synth.Parser()
+	machines := []pipeline.MachineConfig{pipeline.FourWide(), pipeline.EightWide(), pipeline.SixteenWide()}
+	var prev uint64
+	for _, mc := range machines {
+		r, err := Run(prof, Options{Machine: mc, MaxInsts: 60_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != 0 && r.Cycles() > prev {
+			t.Errorf("%s took %d cycles, narrower machine took %d", mc.Name, r.Cycles(), prev)
+		}
+		prev = r.Cycles()
+	}
+}
+
+// TestSquashPenaltyMonotonicity: a larger squash penalty never speeds up a
+// collision-heavy workload, and no_squash is at least as fast as any
+// penalty.
+func TestSquashPenaltyMonotonicity(t *testing.T) {
+	prof := synth.Eon()
+	cycles := func(penalty int, noSquash bool) uint64 {
+		mc := pipeline.SixteenWide()
+		mc.SquashPenalty = penalty
+		mc.NoSquash = noSquash
+		r, err := Run(prof, Options{Machine: mc, Policy: pipeline.PolicySVF, StackPorts: 2, MaxInsts: 60_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Cycles()
+	}
+	p2 := cycles(2, false)
+	p8 := cycles(8, false)
+	ns := cycles(8, true)
+	if p8 < p2 {
+		t.Errorf("penalty 8 (%d cycles) faster than penalty 2 (%d)", p8, p2)
+	}
+	if ns > p2 {
+		t.Errorf("no_squash (%d cycles) slower than penalty-2 squashing (%d)", ns, p2)
+	}
+}
+
+// TestTimingDeterminism: the whole simulator is deterministic — two
+// identical runs give identical statistics, byte for byte.
+func TestTimingDeterminism(t *testing.T) {
+	for _, policy := range []pipeline.StackPolicy{
+		pipeline.PolicyNone, pipeline.PolicySVF, pipeline.PolicyStackCache, pipeline.PolicyRSE,
+	} {
+		opt := Options{Policy: policy, StackPorts: 2, Predictor: PredGshare, MaxInsts: 50_000}
+		a, err := Run(synth.Eon(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(synth.Eon(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Pipe != b.Pipe {
+			t.Errorf("policy %v: pipeline stats diverged:\n%+v\n%+v", policy, a.Pipe, b.Pipe)
+		}
+		if a.DL1 != b.DL1 || a.UL2 != b.UL2 || a.IL1 != b.IL1 {
+			t.Errorf("policy %v: cache stats diverged", policy)
+		}
+	}
+}

@@ -1,0 +1,427 @@
+// Package sim orchestrates complete simulation runs: it assembles a
+// workload generator, memory hierarchy, stack structure, branch predictor
+// and pipeline from a single Options struct, runs the pipeline, and gathers
+// every layer's statistics into one Result. The experiments package builds
+// each paper figure/table out of these runs.
+package sim
+
+import (
+	"fmt"
+	"sync"
+
+	"svf/internal/bpred"
+	"svf/internal/cache"
+	"svf/internal/core"
+	"svf/internal/isa"
+	"svf/internal/pipeline"
+	"svf/internal/regions"
+	"svf/internal/rse"
+	"svf/internal/stackcache"
+	"svf/internal/synth"
+	"svf/internal/trace"
+)
+
+// PredictorKind selects the branch predictor.
+type PredictorKind string
+
+const (
+	// PredPerfect is the paper's default front end (§4).
+	PredPerfect PredictorKind = "perfect"
+	// PredGshare is the realistic predictor of Figure 5's last bars.
+	PredGshare PredictorKind = "gshare"
+	// PredBimodal is a simpler table predictor.
+	PredBimodal PredictorKind = "bimodal"
+)
+
+// Options selects one complete machine configuration.
+type Options struct {
+	// Machine is the core model (Table 2); defaults to SixteenWide.
+	Machine pipeline.MachineConfig
+	// DL1Ports overrides the machine's DL1 port count when non-zero —
+	// the "R" in the paper's (R+S) notation.
+	DL1Ports int
+	// DL1SizeBytes overrides the DL1 capacity when non-zero (Figure 6
+	// doubles it to 128KB).
+	DL1SizeBytes int
+	// DL1HitLatency overrides the DL1 hit latency when non-zero (the
+	// 4-ported baseline of Figure 7 uses 4 cycles).
+	DL1HitLatency int
+
+	// Policy selects the stack structure.
+	Policy pipeline.StackPolicy
+	// StackSizeBytes sizes the SVF or stack cache (default 8KB).
+	StackSizeBytes int
+	// StackPorts is the stack structure's port count (0 = unlimited) —
+	// the "S" in (R+S).
+	StackPorts int
+	// SVFInfinite selects Figure 5's infinite SVF limit study.
+	SVFInfinite bool
+	// SVFAdaptiveDisable enables the §3.3 dynamic-disable monitor.
+	SVFAdaptiveDisable bool
+	// SVFBanks interleaves the SVF into single-ported banks instead of
+	// the flat StackPorts model (0 = off).
+	SVFBanks int
+
+	// Predictor defaults to PredPerfect.
+	Predictor PredictorKind
+	// GshareBits sizes the gshare/bimodal table (default 14).
+	GshareBits uint
+
+	// MaxInsts bounds the run (default 1e6).
+	MaxInsts int
+	// CtxSwitchPeriod enables context switching when non-zero (Table 4
+	// uses 400000).
+	CtxSwitchPeriod uint64
+}
+
+func (o *Options) fillDefaults() {
+	if o.Machine.Width == 0 {
+		o.Machine = pipeline.SixteenWide()
+	}
+	if o.DL1Ports != 0 {
+		o.Machine.DL1Ports = o.DL1Ports
+	}
+	if o.StackSizeBytes == 0 {
+		o.StackSizeBytes = 8 << 10
+	}
+	if o.Predictor == "" {
+		o.Predictor = PredPerfect
+	}
+	if o.GshareBits == 0 {
+		o.GshareBits = 14
+	}
+	if o.MaxInsts == 0 {
+		o.MaxInsts = 1_000_000
+	}
+}
+
+// Result is everything measured in one run.
+type Result struct {
+	// Bench is the workload's ID.
+	Bench string
+	// Opt echoes the options the run used (defaults filled).
+	Opt Options
+	// Pipe is the pipeline's counters.
+	Pipe pipeline.Stats
+	// IL1, DL1, UL2 are the cache counters.
+	IL1, DL1, UL2 cache.Stats
+	// MemAccesses counts main-memory block requests.
+	MemAccesses uint64
+	// SVF is non-nil for SVF runs.
+	SVF *core.Stats
+	// SC is non-nil for stack-cache runs.
+	SC *cache.Stats
+	// RSE is non-nil for register-stack-engine runs.
+	RSE *rse.Stats
+	// SCCtxBytes / SVFCtxBytes are the per-context-switch writeback
+	// averages (Table 4).
+	SCCtxBytes, SVFCtxBytes uint64
+	// SCQWIn/SCQWOut and SVFQWIn/SVFQWOut are the Table 3 traffic
+	// numbers; RSEQWIn/RSEQWOut the register-stack-engine equivalents.
+	SCQWIn, SCQWOut   uint64
+	SVFQWIn, SVFQWOut uint64
+	RSEQWIn, RSEQWOut uint64
+	// RSECtxBytes is the per-context-switch spill average for RSE runs.
+	RSECtxBytes uint64
+}
+
+// IPC returns the run's committed IPC.
+func (r *Result) IPC() float64 { return r.Pipe.IPC() }
+
+// Cycles returns the run's cycle count.
+func (r *Result) Cycles() uint64 { return r.Pipe.Cycles }
+
+// programCache avoids rebuilding (and recalibrating) the synthetic program
+// for a profile on every configuration run.
+var programCache sync.Map // string → *synth.Program
+
+// ProgramFor returns the (cached) built program for a profile.
+func ProgramFor(prof *synth.Profile) (*synth.Program, error) {
+	if v, ok := programCache.Load(prof.ID()); ok {
+		return v.(*synth.Program), nil
+	}
+	prog, err := synth.BuildProgram(prof)
+	if err != nil {
+		return nil, err
+	}
+	programCache.Store(prof.ID(), prog)
+	return prog, nil
+}
+
+// Run executes one simulation and returns its Result.
+func Run(prof *synth.Profile, opt Options) (*Result, error) {
+	opt.fillDefaults()
+	prog, err := ProgramFor(prof)
+	if err != nil {
+		return nil, err
+	}
+	return RunStream(prof.ID(), synth.NewGeneratorFor(prog), opt)
+}
+
+// RunStream executes one simulation over an arbitrary instruction stream
+// (e.g. a trace recorded with the trace package) under the same
+// configuration plumbing as Run. The stream must start at program entry so
+// the $sp shadow can anchor.
+func RunStream(name string, gen trace.Stream, opt Options) (*Result, error) {
+	opt.fillDefaults()
+
+	hcfg := cache.DefaultHierarchyConfig()
+	if opt.DL1SizeBytes != 0 {
+		hcfg.DL1.SizeBytes = opt.DL1SizeBytes
+	}
+	if opt.DL1HitLatency != 0 {
+		hcfg.DL1.HitLatency = opt.DL1HitLatency
+	}
+	hier, err := cache.NewHierarchy(hcfg)
+	if err != nil {
+		return nil, err
+	}
+
+	var pred pipeline.Predictor
+	switch opt.Predictor {
+	case PredPerfect:
+		pred = bpred.NewPerfect()
+	case PredGshare:
+		pred, err = bpred.NewGshare(opt.GshareBits)
+	case PredBimodal:
+		pred, err = bpred.NewBimodal(opt.GshareBits)
+	default:
+		return nil, fmt.Errorf("sim: unknown predictor %q", opt.Predictor)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	env := pipeline.Env{
+		Machine:         opt.Machine,
+		Hier:            hier,
+		Pred:            pred,
+		Layout:          regions.DefaultLayout(),
+		CtxSwitchPeriod: opt.CtxSwitchPeriod,
+	}
+	var svf *core.SVF
+	var sc *stackcache.StackCache
+	var eng *rse.RSE
+	switch opt.Policy {
+	case pipeline.PolicySVF:
+		svf, err = core.New(core.Config{
+			SizeBytes:       opt.StackSizeBytes,
+			Ports:           opt.StackPorts,
+			Infinite:        opt.SVFInfinite,
+			AdaptiveDisable: opt.SVFAdaptiveDisable,
+			Banks:           opt.SVFBanks,
+		}, hier.DL1)
+		if err != nil {
+			return nil, err
+		}
+		env.Stack = pipeline.StackStructs{Policy: opt.Policy, SVF: svf, Ports: opt.StackPorts}
+	case pipeline.PolicyStackCache:
+		sc, err = stackcache.New(stackcache.Config{
+			SizeBytes: opt.StackSizeBytes,
+			Ports:     opt.StackPorts,
+		}, hier.UL2)
+		if err != nil {
+			return nil, err
+		}
+		env.Stack = pipeline.StackStructs{Policy: opt.Policy, SC: sc, Ports: opt.StackPorts}
+	case pipeline.PolicyRSE:
+		eng, err = rse.New(rse.Config{Regs: opt.StackSizeBytes / isa.WordSize}, hier.DL1)
+		if err != nil {
+			return nil, err
+		}
+		env.Stack = pipeline.StackStructs{Policy: opt.Policy, RSE: eng, Ports: opt.StackPorts}
+	}
+
+	pl, err := pipeline.New(env)
+	if err != nil {
+		return nil, err
+	}
+	ps, err := pl.Run(&trace.Limit{S: gen, N: opt.MaxInsts}, uint64(opt.MaxInsts))
+	if err != nil {
+		return nil, fmt.Errorf("sim: %s on %s: %w", name, opt.Machine.Name, err)
+	}
+
+	res := &Result{
+		Bench:       name,
+		Opt:         opt,
+		Pipe:        ps,
+		IL1:         hier.IL1.Stats(),
+		DL1:         hier.DL1.Stats(),
+		UL2:         hier.UL2.Stats(),
+		MemAccesses: hier.Mem.Accesses,
+	}
+	if svf != nil {
+		st := svf.Stats()
+		res.SVF = &st
+		res.SVFQWIn, res.SVFQWOut = st.QuadWordsIn, st.QuadWordsOut
+		res.SVFCtxBytes = svf.CtxSwitchBytes()
+	}
+	if sc != nil {
+		st := sc.Stats()
+		res.SC = &st
+		res.SCQWIn, res.SCQWOut = sc.QuadWordsIn(), sc.QuadWordsOut()
+		res.SCCtxBytes = sc.CtxSwitchBytes()
+	}
+	if eng != nil {
+		st := eng.Stats()
+		res.RSE = &st
+		res.RSEQWIn, res.RSEQWOut = st.QuadWordsIn, st.QuadWordsOut
+		res.RSECtxBytes = eng.CtxSwitchBytes()
+	}
+	return res, nil
+}
+
+// TrafficOnly runs just the stack structure against the trace (no timing
+// pipeline), which is all Table 3 needs; it is an order of magnitude faster
+// than a full timing run. It returns quadwords (in, out).
+func TrafficOnly(prof *synth.Profile, policy pipeline.StackPolicy, sizeBytes, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+	switch policy {
+	case pipeline.PolicySVF:
+		return TrafficOnlySVF(prof, core.Config{SizeBytes: sizeBytes}, maxInsts, ctxPeriod)
+	case pipeline.PolicyStackCache:
+		return trafficOnlyRun(prof, nil, stackcache.Config{SizeBytes: sizeBytes}, maxInsts, ctxPeriod)
+	case pipeline.PolicyRSE:
+		return trafficOnlyRSE(prof, rse.Config{Regs: sizeBytes / isa.WordSize}, maxInsts, ctxPeriod)
+	default:
+		return 0, 0, 0, fmt.Errorf("sim: TrafficOnly needs a stack policy")
+	}
+}
+
+// trafficOnlyRSE drives just the register stack engine over the trace.
+func trafficOnlyRSE(prof *synth.Profile, cfg rse.Config, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+	prog, err := ProgramFor(prof)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	gen := synth.NewGeneratorFor(prog)
+	hier, err := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	eng, err := rse.New(cfg, hier.DL1)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	var in isa.Inst
+	var committed, nextCtx uint64
+	if ctxPeriod > 0 {
+		nextCtx = ctxPeriod
+	}
+	spKnown := false
+	var sp uint64
+	for i := 0; i < maxInsts; i++ {
+		if !gen.Next(&in) {
+			break
+		}
+		committed++
+		if nextCtx > 0 && committed >= nextCtx {
+			eng.ContextSwitch()
+			nextCtx += ctxPeriod
+		}
+		switch {
+		case in.Kind == isa.KindSPAdjust:
+			if spKnown {
+				old := sp
+				sp = uint64(int64(sp) + int64(in.Imm))
+				eng.NotifySPUpdate(old, sp)
+			}
+		case in.IsMem() && in.SPRelative():
+			if !spKnown {
+				sp = in.Addr - uint64(int64(in.Imm))
+				spKnown = true
+				eng.NotifySPUpdate(sp, sp)
+			}
+			eng.Access(in.Addr, in.Kind == isa.KindStore)
+		}
+	}
+	st := eng.Stats()
+	return st.QuadWordsIn, st.QuadWordsOut, eng.CtxSwitchBytes(), nil
+}
+
+// TrafficOnlySVF is TrafficOnly with full control over the SVF
+// configuration (granularity and liveness-kill ablations).
+func TrafficOnlySVF(prof *synth.Profile, svfCfg core.Config, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+	return trafficOnlyRun(prof, &svfCfg, stackcache.Config{}, maxInsts, ctxPeriod)
+}
+
+func trafficOnlyRun(prof *synth.Profile, svfCfg *core.Config, scCfg stackcache.Config, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+	prog, err := ProgramFor(prof)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	gen := synth.NewGeneratorFor(prog)
+	hier, err := cache.NewHierarchy(cache.DefaultHierarchyConfig())
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	layout := regions.DefaultLayout()
+
+	var svf *core.SVF
+	var sc *stackcache.StackCache
+	if svfCfg != nil {
+		svf, err = core.New(*svfCfg, hier.DL1)
+	} else {
+		sc, err = stackcache.New(scCfg, hier.UL2)
+	}
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	var in isa.Inst
+	var committed uint64
+	var nextCtx uint64
+	if ctxPeriod > 0 {
+		nextCtx = ctxPeriod
+	}
+	spKnown := false
+	var sp uint64
+	for i := 0; i < maxInsts; i++ {
+		if !gen.Next(&in) {
+			break
+		}
+		committed++
+		if nextCtx > 0 && committed >= nextCtx {
+			if svf != nil {
+				svf.ContextSwitch()
+			} else {
+				sc.ContextSwitch()
+			}
+			nextCtx += ctxPeriod
+		}
+		switch {
+		case in.Kind == isa.KindSPAdjust:
+			if spKnown {
+				old := sp
+				sp = uint64(int64(sp) + int64(in.Imm))
+				if svf != nil {
+					svf.NotifySPUpdate(old, sp)
+				}
+			}
+		case in.IsMem():
+			if in.SPRelative() && !spKnown {
+				sp = in.Addr - uint64(int64(in.Imm))
+				spKnown = true
+				if svf != nil {
+					svf.NotifySPUpdate(sp, sp)
+				}
+			}
+			if !layout.InStack(in.Addr) {
+				continue
+			}
+			isStore := in.Kind == isa.KindStore
+			if svf != nil {
+				if svf.Contains(in.Addr) {
+					svf.Access(in.Addr, isStore, !in.SPRelative())
+				}
+				// Out-of-window stack refs go to the DL1, not the SVF.
+			} else {
+				sc.Access(in.Addr, isStore)
+			}
+		}
+	}
+	if svf != nil {
+		st := svf.Stats()
+		return st.QuadWordsIn, st.QuadWordsOut, svf.CtxSwitchBytes(), nil
+	}
+	return sc.QuadWordsIn(), sc.QuadWordsOut(), sc.CtxSwitchBytes(), nil
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"testing"
+
+	"svf/internal/pipeline"
+	"svf/internal/synth"
+)
+
+const testInsts = 60_000
+
+func TestRunBaseline(t *testing.T) {
+	r, err := Run(synth.Gzip(), Options{MaxInsts: testInsts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Pipe.Committed != testInsts {
+		t.Fatalf("committed %d, want %d", r.Pipe.Committed, testInsts)
+	}
+	if r.IPC() <= 0.2 || r.IPC() > 16 {
+		t.Errorf("implausible IPC %.2f", r.IPC())
+	}
+	if r.Bench != "164.gzip.graphic" {
+		t.Errorf("bench = %q", r.Bench)
+	}
+	if r.SVF != nil || r.SC != nil {
+		t.Error("baseline run should have no stack structure stats")
+	}
+	if r.DL1.Accesses == 0 {
+		t.Error("no DL1 accesses recorded")
+	}
+	if r.Cycles() == 0 {
+		t.Error("no cycles")
+	}
+}
+
+func TestRunSVF(t *testing.T) {
+	r, err := Run(synth.Crafty(), Options{
+		Policy: pipeline.PolicySVF, StackPorts: 2, MaxInsts: testInsts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SVF == nil {
+		t.Fatal("SVF stats missing")
+	}
+	if r.SVF.MorphedRefs() == 0 {
+		t.Error("no morphed references")
+	}
+	if r.Pipe.SVFRefs == 0 {
+		t.Error("no SVF-routed references")
+	}
+}
+
+func TestRunStackCache(t *testing.T) {
+	r, err := Run(synth.Crafty(), Options{
+		Policy: pipeline.PolicyStackCache, StackPorts: 2, MaxInsts: testInsts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.SC == nil {
+		t.Fatal("stack cache stats missing")
+	}
+	if r.Pipe.StackRefs == 0 {
+		t.Error("no stack-cache-routed references")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	opt := Options{Policy: pipeline.PolicySVF, StackPorts: 2, MaxInsts: 30_000}
+	a, err := Run(synth.Vpr(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(synth.Vpr(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles() != b.Cycles() {
+		t.Errorf("non-deterministic: %d vs %d cycles", a.Cycles(), b.Cycles())
+	}
+	if a.SVFQWIn != b.SVFQWIn || a.SVFQWOut != b.SVFQWOut {
+		t.Error("non-deterministic traffic")
+	}
+}
+
+func TestOptionOverrides(t *testing.T) {
+	r, err := Run(synth.Gzip(), Options{
+		Machine: pipeline.FourWide(), DL1Ports: 1, DL1SizeBytes: 128 << 10,
+		DL1HitLatency: 4, MaxInsts: 20_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Opt.Machine.DL1Ports != 1 {
+		t.Error("DL1Ports override not applied")
+	}
+	if r.Opt.Machine.Width != 4 {
+		t.Error("machine not applied")
+	}
+}
+
+func TestPredictorSelection(t *testing.T) {
+	for _, p := range []PredictorKind{PredPerfect, PredGshare, PredBimodal} {
+		if _, err := Run(synth.Gzip(), Options{Predictor: p, MaxInsts: 10_000}); err != nil {
+			t.Errorf("predictor %s: %v", p, err)
+		}
+	}
+	if _, err := Run(synth.Gzip(), Options{Predictor: "nonsense", MaxInsts: 10_000}); err == nil {
+		t.Error("unknown predictor should fail")
+	}
+}
+
+func TestGsharePredictorSlower(t *testing.T) {
+	perfect, err := Run(synth.Mcf(), Options{MaxInsts: testInsts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gshare, err := Run(synth.Mcf(), Options{Predictor: PredGshare, MaxInsts: testInsts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gshare.Cycles() <= perfect.Cycles() {
+		t.Errorf("gshare (%d cycles) should be slower than perfect (%d)", gshare.Cycles(), perfect.Cycles())
+	}
+	if gshare.Pipe.Mispredicts == 0 {
+		t.Error("gshare never mispredicted")
+	}
+}
+
+func TestInfiniteSVFFasterThanBaseline(t *testing.T) {
+	base, err := Run(synth.Crafty(), Options{MaxInsts: testInsts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inf, err := Run(synth.Crafty(), Options{
+		Policy: pipeline.PolicySVF, SVFInfinite: true, MaxInsts: testInsts,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inf.Cycles() >= base.Cycles() {
+		t.Errorf("infinite SVF (%d) should beat baseline (%d)", inf.Cycles(), base.Cycles())
+	}
+	if inf.SVFQWIn != 0 || inf.SVFQWOut != 0 {
+		t.Error("infinite SVF should have zero traffic")
+	}
+}
+
+func TestTrafficOnly(t *testing.T) {
+	scIn, scOut, _, err := TrafficOnly(synth.Gcc(), pipeline.PolicyStackCache, 2<<10, 200_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svfIn, svfOut, _, err := TrafficOnly(synth.Gcc(), pipeline.PolicySVF, 2<<10, 200_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scIn == 0 || scOut == 0 {
+		t.Error("gcc at 2KB should generate stack-cache traffic")
+	}
+	if svfIn >= scIn {
+		t.Errorf("SVF fill traffic (%d) should be far below the stack cache's (%d)", svfIn, scIn)
+	}
+	if svfOut >= scOut {
+		t.Errorf("SVF writeback traffic (%d) should be below the stack cache's (%d)", svfOut, scOut)
+	}
+}
+
+func TestTrafficOnlyContextSwitches(t *testing.T) {
+	_, _, scBytes, err := TrafficOnly(synth.Crafty(), pipeline.PolicyStackCache, 8<<10, 400_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, svfBytes, err := TrafficOnly(synth.Crafty(), pipeline.PolicySVF, 8<<10, 400_000, 100_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scBytes == 0 || svfBytes == 0 {
+		t.Fatalf("context switches produced no traffic (sc=%d svf=%d)", scBytes, svfBytes)
+	}
+	if svfBytes >= scBytes {
+		t.Errorf("SVF flush (%d B) should be smaller than stack cache flush (%d B)", svfBytes, scBytes)
+	}
+}
+
+func TestTrafficOnlyRequiresPolicy(t *testing.T) {
+	if _, _, _, err := TrafficOnly(synth.Gzip(), pipeline.PolicyNone, 8<<10, 1000, 0); err == nil {
+		t.Error("PolicyNone should be rejected")
+	}
+}
+
+func TestProgramCaching(t *testing.T) {
+	p1, err := ProgramFor(synth.Twolf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ProgramFor(synth.Twolf())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("ProgramFor should cache and return the same program")
+	}
+}

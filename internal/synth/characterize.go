@@ -1,0 +1,124 @@
+package synth
+
+import (
+	"svf/internal/isa"
+	"svf/internal/regions"
+	"svf/internal/stats"
+	"svf/internal/trace"
+)
+
+// Characterization summarises the stack-reference behaviour of a workload
+// trace: the data behind Figures 1 (region/method mix), 2 (stack depth over
+// time), and 3 (offset-from-TOS locality).
+type Characterization struct {
+	// TotalInsts is the number of instructions walked.
+	TotalInsts uint64
+	// MemRefs is the number of memory references seen.
+	MemRefs uint64
+	// RegionRefs counts memory references per region.
+	RegionRefs [regions.NumRegions]uint64
+	// StackMethod counts stack references per access method.
+	StackMethod [regions.NumMethods]uint64
+	// Depth is the stack depth (in words) sampled at every $sp update,
+	// indexed by instruction count: Figure 2's time series.
+	Depth *stats.Series
+	// MaxDepthWords is the deepest stack depth observed, in words.
+	MaxDepthWords uint64
+	// OffsetHist is a log-bucket histogram of stack-reference offsets
+	// from the TOS, in bytes: Figure 3's CDF source.
+	OffsetHist *stats.Histogram
+	// SPUpdates counts $sp writes.
+	SPUpdates uint64
+	// NonImmSPUpdates counts $sp writes that are not immediate
+	// adjustments (these stall the decode interlock).
+	NonImmSPUpdates uint64
+}
+
+// offsetBounds are the Figure 3 x-axis buckets (log10-ish scale, bytes).
+var offsetBounds = []uint64{
+	8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+	16384, 32768, 65536, 1 << 20,
+}
+
+// Characterize walks up to maxInsts instructions of the stream and returns
+// the collected characterisation. The stream must start at program entry so
+// the internal $sp shadow matches the trace.
+func Characterize(s trace.Stream, layout regions.Layout, maxInsts int) *Characterization {
+	c := &Characterization{
+		Depth:      stats.NewSeries(4096),
+		OffsetHist: stats.NewHistogram(offsetBounds...),
+	}
+	sp := layout.StackBase // updated from the first SPAdjust onward
+	spKnown := false
+	var in isa.Inst
+	for c.TotalInsts < uint64(maxInsts) && s.Next(&in) {
+		c.TotalInsts++
+		if in.WritesSP() {
+			c.SPUpdates++
+			if !in.SPImmediate() && in.Kind == isa.KindSPAdjust {
+				c.NonImmSPUpdates++
+			}
+			if in.Kind == isa.KindSPAdjust {
+				if !spKnown {
+					// First adjustment: anchor the shadow $sp just
+					// below the stack base (the generator starts
+					// there).
+					sp = layout.StackBase - 4096
+					spKnown = true
+				}
+				sp = uint64(int64(sp) + int64(in.Imm))
+				depth := (layout.StackBase - 4096 - sp) / isa.WordSize
+				c.Depth.Add(c.TotalInsts, depth)
+				if depth > c.MaxDepthWords {
+					c.MaxDepthWords = depth
+				}
+			}
+			continue
+		}
+		if !in.IsMem() {
+			continue
+		}
+		c.MemRefs++
+		r := layout.Classify(in.Addr)
+		c.RegionRefs[r]++
+		if r == regions.RegionStack {
+			c.StackMethod[regions.MethodOf(in.Base)]++
+			if spKnown && in.Addr >= sp {
+				c.OffsetHist.Add(in.Addr - sp)
+			}
+		}
+	}
+	return c
+}
+
+// StackRefs returns the total number of stack references.
+func (c *Characterization) StackRefs() uint64 { return c.RegionRefs[regions.RegionStack] }
+
+// StackFrac returns the fraction of memory references touching the stack.
+func (c *Characterization) StackFrac() float64 {
+	return stats.Ratio(float64(c.StackRefs()), float64(c.MemRefs))
+}
+
+// MemFrac returns the fraction of instructions that reference memory.
+func (c *Characterization) MemFrac() float64 {
+	return stats.Ratio(float64(c.MemRefs), float64(c.TotalInsts))
+}
+
+// MethodFrac returns the fraction of stack references using the given
+// access method.
+func (c *Characterization) MethodFrac(m regions.Method) float64 {
+	return stats.Ratio(float64(c.StackMethod[m]), float64(c.StackRefs()))
+}
+
+// RegionFrac returns the fraction of memory references to the given region.
+func (c *Characterization) RegionFrac(r regions.Region) float64 {
+	return stats.Ratio(float64(c.RegionRefs[r]), float64(c.MemRefs))
+}
+
+// MeanOffsetBytes returns the average stack-reference distance from TOS in
+// bytes (paper: 2.5 bytes for bzip2 up to 380 bytes for gcc).
+func (c *Characterization) MeanOffsetBytes() float64 { return c.OffsetHist.Mean() }
+
+// Within8KB returns the fraction of stack references within 8KB of the TOS
+// (paper: over 99% for everything except gcc).
+func (c *Characterization) Within8KB() float64 { return c.OffsetHist.CumulativeAt(8192) }

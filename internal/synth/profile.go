@@ -1,0 +1,238 @@
+// Package synth generates deterministic synthetic workloads that stand in
+// for the SPECint2000 Alpha binaries the paper evaluates. Each benchmark is
+// described by a Profile: a parameter set calibrated to reproduce the stack
+// reference characteristics the paper measures in §2 — the region/method
+// breakdown of Figure 1, the stack-depth-over-time behaviour of Figure 2,
+// and the offset-from-TOS locality of Figure 3. A Profile is expanded into
+// a static Program (a call graph of functions made of instruction
+// templates) which a Generator then executes functionally to emit a dynamic
+// instruction trace.
+package synth
+
+import "fmt"
+
+// Profile parameterises one synthetic benchmark workload.
+type Profile struct {
+	// Name is the SPEC-style benchmark name, e.g. "256.bzip2".
+	Name string
+	// Input is the input variant, e.g. "graphic" (Table 1).
+	Input string
+	// Seed is the deterministic seed for both program construction and
+	// functional execution.
+	Seed uint64
+
+	// MemFrac is the target fraction of dynamic instructions that access
+	// memory (the paper reports an average of 42%).
+	MemFrac float64
+	// LoadFrac is the fraction of memory operations that are loads.
+	LoadFrac float64
+	// MultFrac is the fraction of non-memory compute ops that are
+	// multi-cycle multiplies.
+	MultFrac float64
+
+	// StackFrac is the target fraction of memory references that touch
+	// the stack region (paper average: 56%).
+	StackFrac float64
+	// HeapFrac is the fraction of non-stack references that go to the
+	// heap; of the remainder, most go to global data and a sliver to
+	// read-only data.
+	HeapFrac float64
+	// ROFrac is the fraction of non-stack references to read-only data.
+	ROFrac float64
+
+	// SPFrac and FPFrac give the access-method mix among stack
+	// references; the rest go through general-purpose registers
+	// (paper average: 82% $sp; eon: ~45% $gpr).
+	SPFrac, FPFrac float64
+
+	// NumFuncs is the number of synthetic functions in the program.
+	NumFuncs int
+	// FrameWordsMin/Max bound per-function frame sizes in 64-bit words.
+	FrameWordsMin, FrameWordsMax int
+	// BodyLenMin/Max bound the number of instruction templates per
+	// function body (before prologue/epilogue).
+	BodyLenMin, BodyLenMax int
+	// CallFrac is the probability that a body slot is a call site.
+	CallFrac float64
+	// LoopFrac is the probability that a body region is wrapped in a
+	// loop.
+	LoopFrac float64
+	// LoopTripMin/Max bound dynamic loop trip counts.
+	LoopTripMin, LoopTripMax int
+
+	// DepthTypicalWords is the typical steady-state stack depth in
+	// 64-bit words (Figure 2's y-axis unit; 1000 words = 8KB).
+	DepthTypicalWords int
+	// DepthBurstWords is the depth reached during recursion bursts.
+	DepthBurstWords int
+	// BurstProb is the probability (per return to top level) that the
+	// next episode recurses to DepthBurstWords instead of
+	// DepthTypicalWords.
+	BurstProb float64
+	// RecurseFrac is the probability that a call site targets the
+	// function itself, producing recursion chains.
+	RecurseFrac float64
+
+	// LocalOffsetGeom is the geometric-distribution parameter for local
+	// variable offsets within a frame: larger values concentrate
+	// references closer to the top of stack (bzip2 averages 2.5 bytes
+	// from TOS; gcc averages 380 bytes).
+	LocalOffsetGeom float64
+	// DeepFrac is the probability that a $gpr/$fp stack reference
+	// targets an ancestor frame rather than the current one.
+	DeepFrac float64
+	// DeepMaxWords caps how far (in words from TOS) deep references
+	// reach.
+	DeepMaxWords int
+	// DeepSkew biases deep-reference distances toward DeepMaxWords: the
+	// draw takes the maximum of DeepSkew+1 uniforms. Zero is uniform.
+	// perlbmk uses this: its interpreter state lives in the deepest
+	// frames, >1024 words from TOS, aliasing the hot top-of-stack lines
+	// in a direct-mapped 8KB stack cache (the Figure 7 anomaly).
+	DeepSkew int
+
+	// AliasPairFrac is the probability that a stack-store body slot is
+	// emitted as a $gpr-store/$sp-load collision pair — the pattern that
+	// causes SVF load squashes in eon (§3.2, Figure 7).
+	AliasPairFrac float64
+
+	// SVFCodeGen models the paper's "different code generator tailored
+	// for the SVF implementation" (§5.3.1): would-be $gpr-store/$sp-load
+	// collision pairs are emitted with $sp-relative stores instead, so
+	// the renamer sees them and no squashes occur. This is the
+	// code-level counterpart of the timing model's NoSquash flag.
+	SVFCodeGen bool
+
+	// SpillReloadFrac is the probability that a stack memory slot is
+	// emitted as an $sp store/reload pair on the dependence chain — the
+	// register-spill traffic that makes stack latency sit on the
+	// critical path (compilers spill under register pressure around
+	// calls; the paper's §2 first-reference-is-store observation).
+	SpillReloadFrac float64
+
+	// BranchFrac is the probability that a body slot is a conditional
+	// branch (outside loop back-edges).
+	BranchFrac float64
+	// BranchBias is the mean taken-probability bias of data-dependent
+	// branches: values near 0 or 1 are easy for gshare, values near 0.5
+	// are hard.
+	BranchBias float64
+	// HardBranchFrac is the fraction of branches that are
+	// poorly-predictable (taken probability ≈ 0.5).
+	HardBranchFrac float64
+
+	// GlobalFootprintWords and HeapFootprintWords size the non-stack
+	// data working sets (in 64-bit words).
+	GlobalFootprintWords int
+	HeapFootprintWords   int
+	// HotFrac is the fraction of non-stack accesses that hit a small hot
+	// subset (1/16 of the footprint), giving cache-friendly locality.
+	HotFrac float64
+
+	// NonImmSPFrac is the probability that a frame allocation uses a
+	// computed (non-immediate) $sp update, triggering the decode
+	// interlock of §3.1 (rare in compiled code).
+	NonImmSPFrac float64
+
+	// SubWordFrac is the fraction of memory references issued at
+	// partial-word sizes (1, 2 or 4 bytes). Zero for the Alpha-flavoured
+	// profiles (the paper's §3.3: the natural granularity is 64 bits);
+	// the x86-flavoured variants (§7's future work) set it high.
+	SubWordFrac float64
+
+	// InvocationLen is the typical number of dynamic instructions one
+	// invocation executes in its own frame before winding down (loops
+	// exit, further calls are skipped). It bounds how long the trace
+	// dwells in any one loop nest, mimicking data-dependent early exits,
+	// and so controls how quickly the workload cycles through its
+	// phases.
+	InvocationLen int
+
+	// EpisodeLen is the typical number of dynamic instructions between
+	// redraws of the stack-depth target. Each redraw picks
+	// DepthTypicalWords or (with BurstProb) DepthBurstWords, so the
+	// stack collapses and regrows on this timescale — the mechanism
+	// behind Figure 2's occasional depth excursions.
+	EpisodeLen int
+
+	// SubtreeLen is the typical number of dynamic instructions a
+	// top-level call's entire call subtree executes before it winds down.
+	// Without this bound a depth-first traversal of the synthetic call
+	// graph would dwell in one subtree for the whole run; with it the
+	// dispatcher cycles across the program's functions on this timescale.
+	SubtreeLen int
+}
+
+// ID returns the "name.input" identifier used in the paper's tables.
+func (p *Profile) ID() string {
+	if p.Input == "" {
+		return p.Name
+	}
+	return p.Name + "." + p.Input
+}
+
+// Validate checks that the profile's parameters are internally consistent.
+func (p *Profile) Validate() error {
+	check := func(name string, v, lo, hi float64) error {
+		if v < lo || v > hi {
+			return fmt.Errorf("synth: profile %s: %s = %g out of [%g, %g]", p.ID(), name, v, lo, hi)
+		}
+		return nil
+	}
+	for _, c := range []struct {
+		name   string
+		v      float64
+		lo, hi float64
+	}{
+		{"MemFrac", p.MemFrac, 0.05, 0.9},
+		{"LoadFrac", p.LoadFrac, 0, 1},
+		{"StackFrac", p.StackFrac, 0, 1},
+		{"HeapFrac", p.HeapFrac, 0, 1},
+		{"ROFrac", p.ROFrac, 0, 1},
+		{"SPFrac", p.SPFrac, 0, 1},
+		{"FPFrac", p.FPFrac, 0, 1},
+		{"SPFrac+FPFrac", p.SPFrac + p.FPFrac, 0, 1},
+		{"HeapFrac+ROFrac", p.HeapFrac + p.ROFrac, 0, 1},
+		{"BranchBias", p.BranchBias, 0, 1},
+		{"SubWordFrac", p.SubWordFrac, 0, 1},
+	} {
+		if err := check(c.name, c.v, c.lo, c.hi); err != nil {
+			return err
+		}
+	}
+	if p.NumFuncs < 2 {
+		return fmt.Errorf("synth: profile %s: NumFuncs must be >= 2", p.ID())
+	}
+	if p.FrameWordsMin < 2 || p.FrameWordsMax < p.FrameWordsMin {
+		return fmt.Errorf("synth: profile %s: bad frame bounds [%d, %d]", p.ID(), p.FrameWordsMin, p.FrameWordsMax)
+	}
+	if p.BodyLenMin < 4 || p.BodyLenMax < p.BodyLenMin {
+		return fmt.Errorf("synth: profile %s: bad body bounds [%d, %d]", p.ID(), p.BodyLenMin, p.BodyLenMax)
+	}
+	if p.DepthTypicalWords <= 0 || p.DepthBurstWords < p.DepthTypicalWords {
+		return fmt.Errorf("synth: profile %s: bad depth targets (%d, %d)", p.ID(), p.DepthTypicalWords, p.DepthBurstWords)
+	}
+	if p.LoopTripMin < 1 || p.LoopTripMax < p.LoopTripMin {
+		return fmt.Errorf("synth: profile %s: bad loop trips [%d, %d]", p.ID(), p.LoopTripMin, p.LoopTripMax)
+	}
+	if p.InvocationLen < 40 {
+		return fmt.Errorf("synth: profile %s: InvocationLen %d too small (min 40)", p.ID(), p.InvocationLen)
+	}
+	if p.EpisodeLen < 1000 {
+		return fmt.Errorf("synth: profile %s: EpisodeLen %d too small (min 1000)", p.ID(), p.EpisodeLen)
+	}
+	if p.SubtreeLen < p.InvocationLen {
+		return fmt.Errorf("synth: profile %s: SubtreeLen %d smaller than InvocationLen %d", p.ID(), p.SubtreeLen, p.InvocationLen)
+	}
+	return nil
+}
+
+// WithInput returns a copy of the profile with a different input variant;
+// the variant perturbs the seed so each input produces a distinct but
+// same-shaped trace (Table 1's multiple inputs per benchmark).
+func (p *Profile) WithInput(input string, seedDelta uint64) *Profile {
+	q := *p
+	q.Input = input
+	q.Seed = p.Seed + 0x9e3779b97f4a7c15*(seedDelta+1)
+	return &q
+}

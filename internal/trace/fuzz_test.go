@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the binary decoder: arbitrary input must produce an
+// error or a valid trace, never a panic or runaway allocation.
+func FuzzRead(f *testing.F) {
+	// Seed with a real encoding and some mutations.
+	var buf bytes.Buffer
+	if err := Write(&buf, sampleInsts(3, 99)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)-5])
+	f.Add([]byte(magic))
+	f.Add([]byte("garbage"))
+	f.Add(append(append([]byte{}, valid...), 0xff, 0x00))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		insts, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// On success, a re-encode must round-trip.
+		var out bytes.Buffer
+		if err := Write(&out, insts); err != nil {
+			t.Fatalf("re-encode of decoded trace failed: %v", err)
+		}
+		again, err := Read(&out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again) != len(insts) {
+			t.Fatalf("round trip changed length: %d vs %d", len(again), len(insts))
+		}
+	})
+}

@@ -1,0 +1,242 @@
+// Package svf is the public API of the Stack Value File reproduction: a
+// cycle-level out-of-order processor simulator with a Stack Value File
+// (SVF) implementation, a decoupled stack cache baseline, synthetic
+// SPECint2000-like workloads, and the harnesses that regenerate every
+// table and figure of
+//
+//	"Stack Value File: Custom Microarchitecture for the Stack",
+//	Lee, Smelyanskiy, Newburn, Tyson — HPCA 2001.
+//
+// The three layers of the API:
+//
+//   - Workloads: Benchmarks, BenchmarkInputs, ByName and the Profile type
+//     describe synthetic programs calibrated to the paper's stack
+//     characteristics; Characterize measures them (Figures 1-3).
+//   - Single runs: Run simulates one workload on one machine
+//     configuration (Options selects width, ports, stack policy,
+//     predictor) and returns every collected statistic.
+//   - Experiments: Fig1 … Fig9, Table3, Table4 regenerate the paper's
+//     evaluation wholesale.
+//
+// A minimal use:
+//
+//	base, _ := svf.Run(svf.ByName("186.crafty"), svf.Options{MaxInsts: 1e6})
+//	fast, _ := svf.Run(svf.ByName("186.crafty"), svf.Options{
+//		Policy: svf.PolicySVF, StackPorts: 2, MaxInsts: 1e6,
+//	})
+//	fmt.Printf("speedup %.2fx\n", float64(base.Cycles())/float64(fast.Cycles()))
+package svf
+
+import (
+	"io"
+
+	"svf/internal/core"
+	"svf/internal/experiments"
+	"svf/internal/isa"
+	"svf/internal/pipeline"
+	"svf/internal/regions"
+	"svf/internal/sim"
+	"svf/internal/synth"
+	"svf/internal/trace"
+)
+
+// Profile describes one synthetic benchmark workload; see the fields'
+// documentation for the calibration knobs.
+type Profile = synth.Profile
+
+// Program is a built (expanded and calibrated) synthetic program.
+type Program = synth.Program
+
+// Generator emits a Program's dynamic instruction trace.
+type Generator = synth.Generator
+
+// Characterization summarises a workload's stack behaviour (Figures 1-3).
+type Characterization = synth.Characterization
+
+// Benchmarks returns the twelve SPECint2000 benchmark profiles (Table 1).
+func Benchmarks() []*Profile { return synth.Benchmarks() }
+
+// BenchmarkInputs returns all seventeen benchmark·input pairs (Table 3).
+func BenchmarkInputs() []*Profile { return synth.BenchmarkInputs() }
+
+// ByName returns the bundled profile with the given name or id, or nil.
+func ByName(name string) *Profile { return synth.ByName(name) }
+
+// X86Variant derives an x86-flavoured profile (partial-word references and
+// a heavier stack share) from an Alpha-flavoured one — the paper's §7
+// future work.
+func X86Variant(p *Profile) *Profile { return synth.X86Variant(p) }
+
+// BuildProgram expands and calibrates a profile into a static program.
+func BuildProgram(p *Profile) (*Program, error) { return synth.BuildProgram(p) }
+
+// NewGenerator builds a profile's program and returns its trace generator.
+func NewGenerator(p *Profile) (*Generator, error) { return synth.NewGenerator(p) }
+
+// Characterize measures a workload's stack-reference behaviour over up to
+// maxInsts instructions.
+func Characterize(p *Profile, maxInsts int) (*Characterization, error) {
+	g, err := synth.NewGenerator(p)
+	if err != nil {
+		return nil, err
+	}
+	return synth.Characterize(g, regions.DefaultLayout(), maxInsts), nil
+}
+
+// Options selects a complete machine configuration for Run.
+type Options = sim.Options
+
+// Result carries every statistic collected by one Run.
+type Result = sim.Result
+
+// MachineConfig is the core model (Table 2); use FourWide, EightWide or
+// SixteenWide for the paper's presets.
+type MachineConfig = pipeline.MachineConfig
+
+// StackPolicy selects how stack references are treated.
+type StackPolicy = pipeline.StackPolicy
+
+// Stack policies.
+const (
+	// PolicyNone routes all memory references to the data cache.
+	PolicyNone = pipeline.PolicyNone
+	// PolicySVF morphs $sp-relative references into SVF register moves.
+	PolicySVF = pipeline.PolicySVF
+	// PolicyStackCache routes stack references to a decoupled stack cache.
+	PolicyStackCache = pipeline.PolicyStackCache
+	// PolicyRSE serves $sp-relative references from a register stack
+	// engine (the §6 architectural alternative).
+	PolicyRSE = pipeline.PolicyRSE
+)
+
+// Predictor kinds for Options.Predictor.
+const (
+	// PredPerfect is the paper's default front end.
+	PredPerfect = sim.PredPerfect
+	// PredGshare is the realistic global-history predictor.
+	PredGshare = sim.PredGshare
+	// PredBimodal is a per-PC two-bit-counter predictor.
+	PredBimodal = sim.PredBimodal
+)
+
+// FourWide returns the 4-wide Table 2 machine model.
+func FourWide() MachineConfig { return pipeline.FourWide() }
+
+// EightWide returns the 8-wide Table 2 machine model.
+func EightWide() MachineConfig { return pipeline.EightWide() }
+
+// SixteenWide returns the 16-wide Table 2 machine model.
+func SixteenWide() MachineConfig { return pipeline.SixteenWide() }
+
+// Run simulates one workload under one configuration.
+func Run(p *Profile, opt Options) (*Result, error) { return sim.Run(p, opt) }
+
+// RunTrace simulates a pre-recorded instruction slice (see ReadTrace) under
+// one configuration.
+func RunTrace(name string, insts []Inst, opt Options) (*Result, error) {
+	return sim.RunStream(name, trace.NewSliceStream(insts), opt)
+}
+
+// WriteTrace encodes instructions in the binary trace format.
+func WriteTrace(w io.Writer, insts []Inst) error { return trace.Write(w, insts) }
+
+// ReadTrace decodes a binary trace.
+func ReadTrace(r io.Reader) ([]Inst, error) { return trace.Read(r) }
+
+// StackTraffic measures just the stack structure's memory traffic for a
+// workload — the fast path used by Tables 3 and 4. It returns fill and
+// writeback quadwords plus average context-switch flush bytes.
+func StackTraffic(p *Profile, policy StackPolicy, sizeBytes, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+	return sim.TrafficOnly(p, policy, sizeBytes, maxInsts, ctxPeriod)
+}
+
+// StackTrafficSVF is StackTraffic with full control over the SVF's
+// configuration (status-granularity and liveness-kill ablations).
+func StackTrafficSVF(p *Profile, cfg SVFConfig, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+	return sim.TrafficOnlySVF(p, cfg, maxInsts, ctxPeriod)
+}
+
+// Inst is one dynamic instruction of a workload trace.
+type Inst = isa.Inst
+
+// SVFConfig parameterises a standalone SVF instance (advanced use: driving
+// the structure directly rather than through Run).
+type SVFConfig = core.Config
+
+// SVF is the stack value file structure itself.
+type SVF = core.SVF
+
+// SVFStats are the SVF's event counters.
+type SVFStats = core.Stats
+
+// ExperimentConfig controls the paper-reproduction harnesses.
+type ExperimentConfig = experiments.Config
+
+// Experiment result types.
+type (
+	Fig1Result   = experiments.Fig1Result
+	Fig2Result   = experiments.Fig2Result
+	Fig3Result   = experiments.Fig3Result
+	Fig5Result   = experiments.Fig5Result
+	Fig6Result   = experiments.Fig6Result
+	Fig7Result   = experiments.Fig7Result
+	Fig8Result   = experiments.Fig8Result
+	Fig9Result   = experiments.Fig9Result
+	Table3Result = experiments.Table3Result
+	Table4Result = experiments.Table4Result
+	SweepResult  = experiments.SweepResult
+	X86Result    = experiments.X86Result
+	RSEResult    = experiments.RSEResult
+)
+
+// Fig1 reproduces Figure 1 (memory access distribution).
+func Fig1(cfg ExperimentConfig) (*Fig1Result, error) { return experiments.Fig1(cfg) }
+
+// Fig2 reproduces Figure 2 (stack depth variation over time).
+func Fig2(cfg ExperimentConfig) (*Fig2Result, error) { return experiments.Fig2(cfg) }
+
+// Fig3 reproduces Figure 3 (offset locality within a function).
+func Fig3(cfg ExperimentConfig) (*Fig3Result, error) { return experiments.Fig3(cfg) }
+
+// Fig5 reproduces Figure 5 (morphing speedup potential).
+func Fig5(cfg ExperimentConfig) (*Fig5Result, error) { return experiments.Fig5(cfg) }
+
+// Fig6 reproduces Figure 6 (progressive performance analysis).
+func Fig6(cfg ExperimentConfig) (*Fig6Result, error) { return experiments.Fig6(cfg) }
+
+// Fig7 reproduces Figure 7 (SVF vs stack cache vs baseline ports).
+func Fig7(cfg ExperimentConfig) (*Fig7Result, error) { return experiments.Fig7(cfg) }
+
+// Fig8 reproduces Figure 8 (SVF reference type breakdown).
+func Fig8(cfg ExperimentConfig) (*Fig8Result, error) { return experiments.Fig8(cfg) }
+
+// Fig9 reproduces Figure 9 (implemented SVF speedups).
+func Fig9(cfg ExperimentConfig) (*Fig9Result, error) { return experiments.Fig9(cfg) }
+
+// Table3 reproduces Table 3 (stack cache vs SVF memory traffic).
+func Table3(cfg ExperimentConfig) (*Table3Result, error) { return experiments.Table3(cfg) }
+
+// Table4 reproduces Table 4 (context switch traffic).
+func Table4(cfg ExperimentConfig) (*Table4Result, error) { return experiments.Table4(cfg) }
+
+// Sweep explores the SVF capacity × ports design space (§7's area
+// trade-off, beyond the paper's fixed 8KB point).
+func Sweep(cfg ExperimentConfig) (*SweepResult, error) { return experiments.Sweep(cfg) }
+
+// X86 runs the §7 future-work experiment: every benchmark in Alpha and
+// x86 (partial-word) flavours under the SVF.
+func X86(cfg ExperimentConfig) (*X86Result, error) { return experiments.X86(cfg) }
+
+// RSEComparison runs the three-way structure comparison (SVF vs stack
+// cache vs register stack engine — §5.3 and §6).
+func RSEComparison(cfg ExperimentConfig) (*RSEResult, error) { return experiments.RSE(cfg) }
+
+// Scorecard grades every headline claim of the paper's evaluation against
+// fresh measurements.
+type Scorecard = experiments.Scorecard
+
+// RunScorecard executes the core experiments and grades the paper's
+// headline claims.
+func RunScorecard(cfg ExperimentConfig) (*Scorecard, error) {
+	return experiments.RunScorecard(cfg)
+}
