@@ -27,7 +27,10 @@ const (
 )
 
 func benchCfg() ExperimentConfig {
-	return ExperimentConfig{MaxInsts: benchInsts, TrafficInsts: benchTraffic}
+	// Each call gets a fresh, private run cache: the benchmarks measure
+	// end-to-end regeneration cost, so iterations must not serve each
+	// other's simulations from the process-wide shared cache.
+	return ExperimentConfig{MaxInsts: benchInsts, TrafficInsts: benchTraffic, Cache: NewRunCache()}
 }
 
 func BenchmarkFig1(b *testing.B) {

@@ -2,11 +2,19 @@
 //
 // Usage:
 //
-//	svfexp -exp all                 # every experiment
+//	svfexp -exp all                 # every core experiment
 //	svfexp -exp fig5,table3         # a subset
 //	svfexp -exp fig7 -insts 1000000 # bigger timing budget
+//	svfexp -exp all,scorecard -cache-stats
 //
-// Experiments: fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9 table3 table4.
+// Experiments: table1 table2 fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9
+// table3 table4, plus the opt-in extensions sweep, x86, rse and scorecard
+// (run by name; "all" covers only the paper's own tables and figures).
+//
+// All simulations flow through a shared run cache keyed by workload
+// contents and canonical machine options, so identical configurations —
+// within one figure, across figures, or between a figure and the scorecard
+// — simulate exactly once; -cache-stats prints the hit/miss/dedup summary.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"time"
 
 	"svf/internal/experiments"
+	"svf/internal/sim"
 )
 
 func main() {
@@ -27,28 +36,32 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
 	svgDir := flag.String("svg", "", "also render each figure as an SVG file into this directory")
 	htmlOut := flag.String("html", "", "write a single self-contained HTML report to this file")
+	cacheStats := flag.Bool("cache-stats", false, "print the shared run cache's hit/miss/dedup summary after the suite")
 	flag.Parse()
 
 	var report experiments.ReportBuilder
 
-	writeSVG := func(c experiments.ChartSVG) {
+	// writeSVG records the chart in the report and, with -svg, renders it
+	// to disk. It returns rather than exits on failure so one bad write
+	// cannot abort a half-finished suite.
+	writeSVG := func(c experiments.ChartSVG) error {
 		report.AddChart(c)
 		if *svgDir == "" {
-			return
+			return nil
 		}
 		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "svfexp: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		path := filepath.Join(*svgDir, c.Name)
 		if err := os.WriteFile(path, []byte(c.SVG), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "svfexp: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("wrote %s\n", path)
+		return nil
 	}
 
-	cfg := experiments.Config{MaxInsts: *insts, TrafficInsts: *traffic, Parallel: *parallel}
+	cache := sim.SharedCache()
+	cfg := experiments.Config{MaxInsts: *insts, TrafficInsts: *traffic, Parallel: *parallel, Cache: cache}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -73,64 +86,56 @@ func main() {
 			if err != nil {
 				return nil, err
 			}
-			writeSVG(r.Chart())
-			return r.Table(), nil
+			return r.Table(), writeSVG(r.Chart())
 		}},
 		{"fig2", "Figure 2: Stack depth variation (summary; series in library API)", func() (fmt.Stringer, error) {
 			r, err := experiments.Fig2(cfg)
 			if err != nil {
 				return nil, err
 			}
-			writeSVG(r.Chart())
-			return r.Table(), nil
+			return r.Table(), writeSVG(r.Chart())
 		}},
 		{"fig3", "Figure 3: Offset locality within a function", func() (fmt.Stringer, error) {
 			r, err := experiments.Fig3(cfg)
 			if err != nil {
 				return nil, err
 			}
-			writeSVG(r.Chart())
-			return r.Table(), nil
+			return r.Table(), writeSVG(r.Chart())
 		}},
 		{"fig5", "Figure 5: Speedup of morphing all stack accesses (infinite SVF), %", func() (fmt.Stringer, error) {
 			r, err := experiments.Fig5(cfg)
 			if err != nil {
 				return nil, err
 			}
-			writeSVG(r.Chart())
-			return r.Table(), nil
+			return r.Table(), writeSVG(r.Chart())
 		}},
 		{"fig6", "Figure 6: Progressive performance analysis (16-wide), %", func() (fmt.Stringer, error) {
 			r, err := experiments.Fig6(cfg)
 			if err != nil {
 				return nil, err
 			}
-			writeSVG(r.Chart())
-			return r.Table(), nil
+			return r.Table(), writeSVG(r.Chart())
 		}},
 		{"fig7", "Figure 7: SVF vs stack cache vs baseline ports, % over (2+0)", func() (fmt.Stringer, error) {
 			r, err := experiments.Fig7(cfg)
 			if err != nil {
 				return nil, err
 			}
-			writeSVG(r.Chart())
-			return r.Table(), nil
+			return r.Table(), writeSVG(r.Chart())
 		}},
 		{"fig8", "Figure 8: Breakdown of SVF reference types", func() (fmt.Stringer, error) {
 			r, err := experiments.Fig8(cfg)
 			if err != nil {
 				return nil, err
 			}
-			writeSVG(r.Chart())
-			return r.Table(), nil
+			return r.Table(), writeSVG(r.Chart())
 		}},
 		{"fig9", "Figure 9: SVF speedups over baseline, %", func() (fmt.Stringer, error) {
 			r, err := experiments.Fig9(cfg)
 			if err != nil {
 				return nil, err
 			}
-			writeSVG(r.Chart())
-			return r.Table(), nil
+			return r.Table(), writeSVG(r.Chart())
 		}},
 		{"table3", "Table 3: Memory traffic, stack cache vs SVF (quadwords)", func() (fmt.Stringer, error) {
 			r, err := experiments.Table3(cfg)
@@ -176,7 +181,7 @@ func main() {
 		}},
 	}
 
-	ran := 0
+	ran, failed := 0, 0
 	for _, f := range fns {
 		if (f.name == "sweep" || f.name == "x86" || f.name == "rse" || f.name == "scorecard") && !want[f.name] {
 			continue // opt-in: costly extension experiments
@@ -187,22 +192,33 @@ func main() {
 		start := time.Now()
 		out, err := f.run()
 		if err != nil {
+			// Keep going: a failed experiment (or SVG write) must not
+			// discard the results of the rest of the suite.
 			fmt.Fprintf(os.Stderr, "svfexp: %s: %v\n", f.name, err)
-			os.Exit(1)
+			failed++
 		}
-		fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", f.name, f.title, time.Since(start).Seconds(), out)
-		report.AddSection(f.title, out.String())
-		ran++
+		if out != nil {
+			fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", f.name, f.title, time.Since(start).Seconds(), out)
+			report.AddSection(f.title, out.String())
+			ran++
+		}
 	}
-	if ran == 0 {
+	if ran == 0 && failed == 0 {
 		fmt.Fprintf(os.Stderr, "svfexp: no experiment matched %q\n", *exp)
 		os.Exit(2)
 	}
 	if *htmlOut != "" {
 		if err := os.WriteFile(*htmlOut, []byte(report.Render()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "svfexp: %v\n", err)
-			os.Exit(1)
+			failed++
+		} else {
+			fmt.Printf("wrote %s\n", *htmlOut)
 		}
-		fmt.Printf("wrote %s\n", *htmlOut)
+	}
+	if *cacheStats {
+		fmt.Println(cache.Stats())
+	}
+	if failed > 0 {
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+
+	"svf/internal/sim"
+	"svf/internal/synth"
+)
+
+func cacheTestCfg(c *sim.RunCache) Config {
+	return Config{
+		MaxInsts: 20_000,
+		// Match the scorecard's Table 4 floor so its runs share keys with
+		// the plain suite's.
+		TrafficInsts: 3 * CtxSwitchPeriod,
+		Benchmarks:   []*synth.Profile{synth.Crafty(), synth.Eon()},
+		Cache:        c,
+	}
+}
+
+// The acceptance criterion for the shared cache: running the figure suite
+// followed by the scorecard performs each unique (profile, options)
+// simulation exactly once — the scorecard adds zero new simulations.
+func TestSuiteRunsEachUniqueConfigOnce(t *testing.T) {
+	cache := sim.NewRunCache()
+	cfg := cacheTestCfg(cache)
+	for _, run := range []struct {
+		name string
+		fn   func(Config) error
+	}{
+		{"Fig5", func(c Config) error { _, err := Fig5(c); return err }},
+		{"Fig7", func(c Config) error { _, err := Fig7(c); return err }},
+		{"Fig8", func(c Config) error { _, err := Fig8(c); return err }},
+		{"Fig9", func(c Config) error { _, err := Fig9(c); return err }},
+		{"Table4", func(c Config) error { _, err := Table4(c); return err }},
+	} {
+		if err := run.fn(cfg); err != nil {
+			t.Fatalf("%s: %v", run.name, err)
+		}
+	}
+	st := cache.Stats()
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("stats = %+v, want both misses (first runs) and hits (figures overlap)", st)
+	}
+	if int(st.Misses) != st.Entries {
+		t.Errorf("misses = %d but entries = %d: some simulation executed more than once", st.Misses, st.Entries)
+	}
+	suiteMisses := st.Misses
+
+	// The scorecard re-runs Fig5/7/8/9 and Table4; with the shared cache it
+	// must not simulate anything new.
+	if _, err := RunScorecard(cfg); err != nil {
+		t.Fatal(err)
+	}
+	after := cache.Stats()
+	if after.Misses != suiteMisses {
+		t.Errorf("scorecard added %d fresh simulations, want 0 (all cached)", after.Misses-suiteMisses)
+	}
+	if int(after.Misses) != after.Entries {
+		t.Errorf("misses = %d but entries = %d after scorecard", after.Misses, after.Entries)
+	}
+}
+
+// Exercises the cache's locking under the race detector: several
+// experiments with overlapping configurations run concurrently against one
+// cache, each internally parallel.
+func TestParallelExperimentsShareCacheRace(t *testing.T) {
+	cache := sim.NewRunCache()
+	cfg := cacheTestCfg(cache)
+	cfg.Parallel = 8
+	var wg sync.WaitGroup
+	errs := make([]error, 3)
+	run := func(i int, fn func(Config) error) {
+		defer wg.Done()
+		errs[i] = fn(cfg)
+	}
+	wg.Add(3)
+	go run(0, func(c Config) error { _, err := Fig7(c); return err })
+	go run(1, func(c Config) error { _, err := Fig8(c); return err })
+	go run(2, func(c Config) error { _, err := Fig9(c); return err })
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("experiment %d: %v", i, err)
+		}
+	}
+	st := cache.Stats()
+	if int(st.Misses) != st.Entries {
+		t.Errorf("misses = %d but entries = %d: duplicate concurrent simulation", st.Misses, st.Entries)
+	}
+}

@@ -2,9 +2,7 @@ package experiments
 
 import (
 	"svf/internal/regions"
-	"svf/internal/sim"
 	"svf/internal/stats"
-	"svf/internal/synth"
 )
 
 // Fig1Row is one benchmark's memory-reference breakdown (Figure 1),
@@ -34,11 +32,10 @@ func Fig1(cfg Config) (*Fig1Result, error) {
 	res := &Fig1Result{Rows: make([]Fig1Row, len(cfg.Benchmarks))}
 	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(i int) error {
 		prof := cfg.Benchmarks[i]
-		prog, err := sim.ProgramFor(prof)
+		c, err := cfg.Cache.Characterize(prof, cfg.TrafficInsts)
 		if err != nil {
 			return err
 		}
-		c := synth.Characterize(synth.NewGeneratorFor(prog), prog.Layout, cfg.TrafficInsts)
 		stack := c.StackFrac()
 		res.Rows[i] = Fig1Row{
 			Bench:    prof.ID(),
@@ -94,11 +91,10 @@ func Fig2(cfg Config) (*Fig2Result, error) {
 	res := &Fig2Result{Series: make([]Fig2Series, len(cfg.Benchmarks))}
 	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(i int) error {
 		prof := cfg.Benchmarks[i]
-		prog, err := sim.ProgramFor(prof)
+		c, err := cfg.Cache.Characterize(prof, cfg.TrafficInsts)
 		if err != nil {
 			return err
 		}
-		c := synth.Characterize(synth.NewGeneratorFor(prog), prog.Layout, cfg.TrafficInsts)
 		res.Series[i] = Fig2Series{
 			Bench:         prof.ID(),
 			X:             c.Depth.X,
@@ -152,11 +148,10 @@ func Fig3(cfg Config) (*Fig3Result, error) {
 	res := &Fig3Result{Rows: make([]Fig3Row, len(cfg.Benchmarks))}
 	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(i int) error {
 		prof := cfg.Benchmarks[i]
-		prog, err := sim.ProgramFor(prof)
+		c, err := cfg.Cache.Characterize(prof, cfg.TrafficInsts)
 		if err != nil {
 			return err
 		}
-		c := synth.Characterize(synth.NewGeneratorFor(prog), prog.Layout, cfg.TrafficInsts)
 		row := Fig3Row{
 			Bench:           prof.ID(),
 			MeanOffsetBytes: c.MeanOffsetBytes(),

@@ -6,10 +6,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"svf/internal/sim"
 	"svf/internal/synth"
 )
 
@@ -27,6 +29,13 @@ type Config struct {
 	// Parallel is the number of concurrent simulations (default
 	// GOMAXPROCS).
 	Parallel int
+	// Cache memoizes and dedups simulation runs. Every experiment
+	// constructor routes its runs through it, so identical (profile,
+	// options) pairs — within one figure, across figures, or between a
+	// figure and the scorecard — simulate exactly once. Nil selects the
+	// process-wide shared cache (sim.SharedCache()); use sim.NewRunCache()
+	// for an isolated one (benchmarks do, to keep timings honest).
+	Cache *sim.RunCache
 }
 
 func (c *Config) fillDefaults() {
@@ -42,29 +51,50 @@ func (c *Config) fillDefaults() {
 	if c.Parallel == 0 {
 		c.Parallel = runtime.GOMAXPROCS(0)
 	}
+	if c.Cache == nil {
+		c.Cache = sim.SharedCache()
+	}
 }
 
-// forEach runs f(i) for i in [0, n) with bounded parallelism, returning the
-// first error.
+// forEach runs f(i) for i in [0, n) with bounded parallelism. It fails
+// fast: the first task error cancels the matrix — tasks not yet started are
+// skipped rather than run to completion — and is returned.
 func forEach(parallel, n int, f func(i int) error) error {
 	if parallel < 1 {
 		parallel = 1
 	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	sem := make(chan struct{}, parallel)
-	errCh := make(chan error, n)
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
 	for i := 0; i < n; i++ {
+		if ctx.Err() != nil {
+			break
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
 			if err := f(i); err != nil {
-				errCh <- fmt.Errorf("experiments: task %d: %w", i, err)
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("experiments: task %d: %w", i, err)
+				}
+				mu.Unlock()
+				cancel()
 			}
 		}(i)
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	mu.Lock()
+	defer mu.Unlock()
+	return firstErr
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"svf/internal/synth"
@@ -275,6 +276,23 @@ func TestForEachPropagatesError(t *testing.T) {
 	})
 	if err == nil {
 		t.Fatal("expected error")
+	}
+}
+
+// With parallel=1, the first failure must stop the remaining tasks from
+// ever starting: one failed simulation aborts the experiment instead of
+// burning the rest of the budget.
+func TestForEachFailsFast(t *testing.T) {
+	var calls atomic.Int64
+	err := forEach(1, 100, func(i int) error {
+		calls.Add(1)
+		return errTest
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d tasks ran after the first failure, want fail-fast (1 total)", got)
 	}
 }
 

@@ -57,13 +57,13 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 	err := forEach(cfg.Parallel, len(jobs), func(j int) error {
 		b, w := jobs[j].bench, jobs[j].width
 		prof := cfg.Benchmarks[b]
-		base, err := sim.Run(prof, sim.Options{
+		base, err := cfg.Cache.Run(prof, sim.Options{
 			Machine: widths[w].mc, Predictor: widths[w].pred, MaxInsts: cfg.MaxInsts,
 		})
 		if err != nil {
 			return err
 		}
-		svf, err := sim.Run(prof, sim.Options{
+		svf, err := cfg.Cache.Run(prof, sim.Options{
 			Machine: widths[w].mc, Predictor: widths[w].pred, MaxInsts: cfg.MaxInsts,
 			Policy: pipeline.PolicySVF, SVFInfinite: true, StackPorts: 0,
 		})
@@ -179,7 +179,7 @@ func runMatrix(cfg Config, specs []runSpec) ([][]uint64, error) {
 		b, s := jobs[j].b, jobs[j].s
 		opt := specs[s].opt
 		opt.MaxInsts = cfg.MaxInsts
-		r, err := sim.Run(cfg.Benchmarks[b], opt)
+		r, err := cfg.Cache.Run(cfg.Benchmarks[b], opt)
 		if err != nil {
 			return err
 		}
@@ -282,7 +282,7 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 	res := &Fig8Result{Rows: make([]Fig8Row, len(cfg.Benchmarks))}
 	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
 		prof := cfg.Benchmarks[b]
-		r, err := sim.Run(prof, sim.Options{
+		r, err := cfg.Cache.Run(prof, sim.Options{
 			Machine: pipeline.SixteenWide(), DL1Ports: 2,
 			Policy: pipeline.PolicySVF, StackPorts: 2, MaxInsts: cfg.MaxInsts,
 		})

@@ -32,7 +32,7 @@ func RSE(cfg Config) (*RSEResult, error) {
 	res := &RSEResult{Rows: make([]RSERow, len(cfg.Benchmarks))}
 	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
 		prof := cfg.Benchmarks[b]
-		base, err := sim.Run(prof, sim.Options{MaxInsts: cfg.MaxInsts})
+		base, err := cfg.Cache.Run(prof, sim.Options{MaxInsts: cfg.MaxInsts})
 		if err != nil {
 			return err
 		}
@@ -47,12 +47,12 @@ func RSE(cfg Config) (*RSEResult, error) {
 			{pipeline.PolicyStackCache, &row.SCSpeedup, &row.SCQW, &row.SCCtxBytes},
 			{pipeline.PolicyRSE, &row.RSESpeedup, &row.RSEQW, &row.RSECtxBytes},
 		} {
-			r, err := sim.Run(prof, sim.Options{Policy: c.policy, StackPorts: 2, MaxInsts: cfg.MaxInsts})
+			r, err := cfg.Cache.Run(prof, sim.Options{Policy: c.policy, StackPorts: 2, MaxInsts: cfg.MaxInsts})
 			if err != nil {
 				return err
 			}
 			*c.speedup = stats.Speedup(base.Cycles(), r.Cycles())
-			in, out, ctx, err := sim.TrafficOnly(prof, c.policy, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
+			in, out, ctx, err := cfg.Cache.Traffic(prof, c.policy, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
 			if err != nil {
 				return err
 			}

@@ -24,7 +24,9 @@ type Scorecard struct {
 }
 
 // RunScorecard executes Fig5, Fig7, Fig8, Fig9 and Table4 and grades the
-// paper's headline claims.
+// paper's headline claims. Every run goes through cfg.Cache, so a scorecard
+// following the individual experiments (e.g. `svfexp -exp all,scorecard`)
+// reuses their results instead of re-simulating.
 func RunScorecard(cfg Config) (*Scorecard, error) {
 	cfg.fillDefaults()
 	f5, err := Fig5(cfg)
@@ -43,6 +45,8 @@ func RunScorecard(cfg Config) (*Scorecard, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Table 4 needs several context-switch periods; raising the budget
+	// changes the cache key, so only runs below the floor re-simulate.
 	t4cfg := cfg
 	if t4cfg.TrafficInsts < 3*CtxSwitchPeriod {
 		t4cfg.TrafficInsts = 3 * CtxSwitchPeriod

@@ -45,7 +45,7 @@ func Sweep(cfg Config) (*SweepResult, error) {
 	// Baselines per benchmark.
 	base := make([]uint64, len(cfg.Benchmarks))
 	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
-		r, err := sim.Run(cfg.Benchmarks[b], sim.Options{
+		r, err := cfg.Cache.Run(cfg.Benchmarks[b], sim.Options{
 			Machine: pipeline.SixteenWide(), DL1Ports: 2, MaxInsts: cfg.MaxInsts,
 		})
 		if err != nil {
@@ -75,7 +75,7 @@ func Sweep(cfg Config) (*SweepResult, error) {
 	}
 	err = forEach(cfg.Parallel, len(jobs), func(j int) error {
 		jb := jobs[j]
-		r, err := sim.Run(cfg.Benchmarks[jb.b], sim.Options{
+		r, err := cfg.Cache.Run(cfg.Benchmarks[jb.b], sim.Options{
 			Machine: pipeline.SixteenWide(), DL1Ports: 2,
 			Policy: pipeline.PolicySVF, StackSizeBytes: SweepSizes[jb.si], StackPorts: SweepPorts[jb.pi],
 			MaxInsts: cfg.MaxInsts,

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"svf/internal/pipeline"
-	"svf/internal/sim"
 	"svf/internal/stats"
 	"svf/internal/synth"
 )
@@ -46,11 +45,11 @@ func Table3(cfg Config) (*Table3Result, error) {
 	err := forEach(cfg.Parallel, len(jobs), func(j int) error {
 		b, s := jobs[j].b, jobs[j].s
 		size := Table3Sizes[s]
-		scIn, scOut, _, err := sim.TrafficOnly(benches[b], pipeline.PolicyStackCache, size, cfg.TrafficInsts, 0)
+		scIn, scOut, _, err := cfg.Cache.Traffic(benches[b], pipeline.PolicyStackCache, size, cfg.TrafficInsts, 0)
 		if err != nil {
 			return err
 		}
-		svfIn, svfOut, _, err := sim.TrafficOnly(benches[b], pipeline.PolicySVF, size, cfg.TrafficInsts, 0)
+		svfIn, svfOut, _, err := cfg.Cache.Traffic(benches[b], pipeline.PolicySVF, size, cfg.TrafficInsts, 0)
 		if err != nil {
 			return err
 		}
@@ -109,11 +108,11 @@ func Table4(cfg Config) (*Table4Result, error) {
 	res := &Table4Result{Rows: make([]Table4Row, len(cfg.Benchmarks))}
 	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
 		prof := cfg.Benchmarks[b]
-		_, _, scBytes, err := sim.TrafficOnly(prof, pipeline.PolicyStackCache, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
+		_, _, scBytes, err := cfg.Cache.Traffic(prof, pipeline.PolicyStackCache, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
 		if err != nil {
 			return err
 		}
-		_, _, svfBytes, err := sim.TrafficOnly(prof, pipeline.PolicySVF, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
+		_, _, svfBytes, err := cfg.Cache.Traffic(prof, pipeline.PolicySVF, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
 		if err != nil {
 			return err
 		}

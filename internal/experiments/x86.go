@@ -45,11 +45,11 @@ func X86(cfg Config) (*X86Result, error) {
 			{alpha, &row.AlphaSpeedup, &row.AlphaFillQW, false},
 			{x86, &row.X86Speedup, &row.X86FillQW, true},
 		} {
-			base, err := sim.Run(fl.prof, sim.Options{MaxInsts: cfg.MaxInsts})
+			base, err := cfg.Cache.Run(fl.prof, sim.Options{MaxInsts: cfg.MaxInsts})
 			if err != nil {
 				return err
 			}
-			svf, err := sim.Run(fl.prof, sim.Options{
+			svf, err := cfg.Cache.Run(fl.prof, sim.Options{
 				Policy: pipeline.PolicySVF, StackPorts: 2, MaxInsts: cfg.MaxInsts,
 			})
 			if err != nil {

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"svf/internal/pipeline"
+	"svf/internal/stats"
+	"svf/internal/synth"
+)
+
+// RunCache memoizes complete simulation runs. Keys are content
+// fingerprints: the full parameter set of the workload profile (not its ID
+// — see Profile.Fingerprint) combined with the canonicalized Options, so
+// two requests hit the same entry exactly when they would simulate the same
+// machine on the same workload. Concurrent requests for one key share a
+// single in-flight simulation (single-flight deduplication); later requests
+// are served from the cache.
+//
+// The experiment harnesses route every timing run, traffic run and
+// characterisation pass through one RunCache (experiments.Config.Cache), so
+// a suite such as `svfexp -exp all,scorecard` executes each unique
+// (profile, options) pair exactly once: the scorecard reuses the Figure
+// 5/7/8/9 and Table 4 runs, and specs shared between figures (Figure 7's
+// 2+0/2+1/2+2 points are byte-identical to Figure 9's) simulate once.
+//
+// Results accumulate for the cache's lifetime; use a fresh cache per sweep
+// when memory matters more than reuse.
+type RunCache struct {
+	runs    flightGroup[runKey, *Result]
+	traffic flightGroup[trafficKey, trafficVal]
+	char    flightGroup[charKey, *synth.Characterization]
+	cnt     cacheCounters
+}
+
+// cacheCounters are the cache's event counters (internal/stats).
+type cacheCounters struct {
+	hits     stats.Counter // served from a completed entry
+	shared   stats.Counter // joined an in-flight simulation
+	misses   stats.Counter // simulations actually executed
+	errors   stats.Counter // executions that failed (entry dropped)
+	simNanos stats.Counter // wall-clock nanoseconds spent executing
+}
+
+// NewRunCache returns an empty cache.
+func NewRunCache() *RunCache { return &RunCache{} }
+
+// sharedCache is the process-wide default used by experiments.Config.
+var sharedCache = NewRunCache()
+
+// SharedCache returns the process-wide cache that experiment harnesses use
+// by default, so separate harnesses in one invocation reuse each other's
+// runs.
+func SharedCache() *RunCache { return sharedCache }
+
+// runKey identifies one unique timing simulation.
+type runKey struct {
+	prof string
+	opt  Options
+}
+
+// Canonical returns opt with defaults filled and presentation-only state
+// normalised, so equivalent configurations compare equal as cache keys: the
+// machine's display Name is dropped, and the DL1Ports override is cleared
+// after fillDefaults has folded it into Machine.DL1Ports.
+func Canonical(opt Options) Options {
+	opt.fillDefaults()
+	opt.Machine.Name = ""
+	opt.DL1Ports = 0
+	return opt
+}
+
+// Run returns the memoized Result of Run(prof, opt), executing the
+// simulation at most once per unique (profile contents, canonical options)
+// pair. The returned Result is a private copy; callers may modify it.
+func (c *RunCache) Run(prof *synth.Profile, opt Options) (*Result, error) {
+	key := runKey{prof.Fingerprint(), Canonical(opt)}
+	res, err := c.runs.do(key, &c.cnt, func() (*Result, error) {
+		return Run(prof, opt)
+	})
+	return cloneResult(res), err
+}
+
+// trafficKey identifies one unique functional traffic run.
+type trafficKey struct {
+	prof      string
+	policy    pipeline.StackPolicy
+	sizeBytes int
+	maxInsts  int
+	ctxPeriod uint64
+}
+
+type trafficVal struct{ in, out, ctx uint64 }
+
+// Traffic returns the memoized result of TrafficOnly.
+func (c *RunCache) Traffic(prof *synth.Profile, policy pipeline.StackPolicy, sizeBytes, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+	key := trafficKey{prof.Fingerprint(), policy, sizeBytes, maxInsts, ctxPeriod}
+	v, err := c.traffic.do(key, &c.cnt, func() (trafficVal, error) {
+		in, out, ctx, err := TrafficOnly(prof, policy, sizeBytes, maxInsts, ctxPeriod)
+		return trafficVal{in, out, ctx}, err
+	})
+	return v.in, v.out, v.ctx, err
+}
+
+// charKey identifies one unique characterisation pass.
+type charKey struct {
+	prof     string
+	maxInsts int
+}
+
+// Characterize returns the memoized functional characterisation of a
+// profile over maxInsts instructions — Figures 1-3 all consume the same
+// pass. The returned Characterization is shared between callers and must be
+// treated as read-only.
+func (c *RunCache) Characterize(prof *synth.Profile, maxInsts int) (*synth.Characterization, error) {
+	key := charKey{prof.Fingerprint(), maxInsts}
+	return c.char.do(key, &c.cnt, func() (*synth.Characterization, error) {
+		prog, err := ProgramFor(prof)
+		if err != nil {
+			return nil, err
+		}
+		return synth.Characterize(synth.NewGeneratorFor(prog), prog.Layout, maxInsts), nil
+	})
+}
+
+// cloneResult returns a shallow copy deep enough that callers mutating the
+// returned Result (including its per-structure stat blocks) cannot corrupt
+// the cached entry.
+func cloneResult(r *Result) *Result {
+	if r == nil {
+		return nil
+	}
+	cp := *r
+	if r.SVF != nil {
+		s := *r.SVF
+		cp.SVF = &s
+	}
+	if r.SC != nil {
+		s := *r.SC
+		cp.SC = &s
+	}
+	if r.RSE != nil {
+		s := *r.RSE
+		cp.RSE = &s
+	}
+	return &cp
+}
+
+// CacheStats is a point-in-time summary of a RunCache.
+type CacheStats struct {
+	// Hits counts requests served from a completed entry; Shared counts
+	// requests that joined a simulation already in flight; Misses counts
+	// simulations actually executed.
+	Hits, Shared, Misses uint64
+	// Errors counts executions that failed; failed entries are dropped so
+	// a retry re-executes.
+	Errors uint64
+	// Entries is the number of resident results across all three kinds
+	// (timing runs, traffic runs, characterisations).
+	Entries int
+	// SimTime is the cumulative wall-clock time spent inside executions
+	// (what the Hits and Shared requests did not have to pay again).
+	SimTime time.Duration
+}
+
+// Stats snapshots the cache's counters.
+func (c *RunCache) Stats() CacheStats {
+	return CacheStats{
+		Hits:    c.cnt.hits.Load(),
+		Shared:  c.cnt.shared.Load(),
+		Misses:  c.cnt.misses.Load(),
+		Errors:  c.cnt.errors.Load(),
+		Entries: c.runs.len() + c.traffic.len() + c.char.len(),
+		SimTime: time.Duration(c.cnt.simNanos.Load()),
+	}
+}
+
+// Requests returns the total number of cache lookups.
+func (s CacheStats) Requests() uint64 { return s.Hits + s.Shared + s.Misses }
+
+// String renders the one-line summary printed by `svfexp -cache-stats`.
+func (s CacheStats) String() string {
+	return fmt.Sprintf("run cache: %d requests → %d simulated, %d hits, %d deduped in flight, %d errors; %d entries; %s simulating",
+		s.Requests(), s.Misses, s.Hits, s.Shared, s.Errors, s.Entries, s.SimTime.Round(time.Millisecond))
+}
+
+// Table renders the stats in the report-table form the experiment harnesses
+// use everywhere else.
+func (s CacheStats) Table() *stats.Table {
+	t := stats.NewTable("requests", "simulated", "hits", "deduped", "errors", "entries", "sim time")
+	t.AddRow(s.Requests(), s.Misses, s.Hits, s.Shared, s.Errors, s.Entries, s.SimTime.Round(time.Millisecond).String())
+	return t
+}
+
+// flight is one single-flight slot: done closes when val/err are final.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// flightGroup is a memoizing single-flight map: concurrent callers of the
+// same key share one execution, and every later caller gets the cached
+// value without re-executing.
+type flightGroup[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*flight[V]
+}
+
+// do returns the value for key, joining an in-flight execution or starting
+// fn, and bumps the matching counters.
+func (g *flightGroup[K, V]) do(key K, cnt *cacheCounters, fn func() (V, error)) (V, error) {
+	g.mu.Lock()
+	if g.m == nil {
+		g.m = make(map[K]*flight[V])
+	}
+	if f, ok := g.m[key]; ok {
+		inFlight := true
+		select {
+		case <-f.done:
+			inFlight = false
+		default:
+		}
+		g.mu.Unlock()
+		<-f.done
+		if inFlight {
+			cnt.shared.Inc()
+		} else {
+			cnt.hits.Inc()
+		}
+		return f.val, f.err
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	g.m[key] = f
+	g.mu.Unlock()
+
+	cnt.misses.Inc()
+	start := time.Now()
+	f.val, f.err = fn()
+	cnt.simNanos.Add(uint64(time.Since(start)))
+	if f.err != nil {
+		// Failed runs are not cached: drop the entry so a retry
+		// re-executes instead of replaying the error forever.
+		cnt.errors.Inc()
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+	}
+	close(f.done)
+	return f.val, f.err
+}
+
+// len returns the number of resident entries.
+func (g *flightGroup[K, V]) len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

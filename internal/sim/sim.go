@@ -132,19 +132,23 @@ func (r *Result) IPC() float64 { return r.Pipe.IPC() }
 func (r *Result) Cycles() uint64 { return r.Pipe.Cycles }
 
 // programCache avoids rebuilding (and recalibrating) the synthetic program
-// for a profile on every configuration run.
-var programCache sync.Map // string → *synth.Program
+// for a profile on every configuration run. It is keyed by the profile's
+// content fingerprint, not its ID: custom and mutated profiles can share an
+// ID with a bundled profile, and keying on ID alone would silently hand one
+// of them the other's program.
+var programCache sync.Map // fingerprint string → *synth.Program
 
 // ProgramFor returns the (cached) built program for a profile.
 func ProgramFor(prof *synth.Profile) (*synth.Program, error) {
-	if v, ok := programCache.Load(prof.ID()); ok {
+	fp := prof.Fingerprint()
+	if v, ok := programCache.Load(fp); ok {
 		return v.(*synth.Program), nil
 	}
 	prog, err := synth.BuildProgram(prof)
 	if err != nil {
 		return nil, err
 	}
-	programCache.Store(prof.ID(), prog)
+	programCache.Store(fp, prog)
 	return prog, nil
 }
 

@@ -9,7 +9,11 @@
 // instruction trace.
 package synth
 
-import "fmt"
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
 
 // Profile parameterises one synthetic benchmark workload.
 type Profile struct {
@@ -169,6 +173,17 @@ func (p *Profile) ID() string {
 		return p.Name
 	}
 	return p.Name + "." + p.Input
+}
+
+// Fingerprint returns a content hash over every parameter of the profile.
+// Two profiles compare equal under Fingerprint exactly when they describe
+// the same workload, even if they share an ID — custom and mutated profiles
+// routinely reuse a bundled profile's name, so caches must key on this, not
+// on ID. The %#v rendering covers every field (the struct is flat scalars)
+// and round-trips floats exactly.
+func (p *Profile) Fingerprint() string {
+	h := sha256.Sum256([]byte(fmt.Sprintf("%#v", *p)))
+	return hex.EncodeToString(h[:16])
 }
 
 // Validate checks that the profile's parameters are internally consistent.

@@ -172,6 +172,25 @@ type SVFStats = core.Stats
 // ExperimentConfig controls the paper-reproduction harnesses.
 type ExperimentConfig = experiments.Config
 
+// RunCache memoizes complete simulation runs, keyed by the workload's
+// content fingerprint and the canonicalized Options, with single-flight
+// deduplication of concurrent identical runs. Experiment harnesses share
+// one via ExperimentConfig.Cache.
+type RunCache = sim.RunCache
+
+// RunCacheStats is a point-in-time summary of a RunCache.
+type RunCacheStats = sim.CacheStats
+
+// NewRunCache returns an empty run cache.
+func NewRunCache() *RunCache { return sim.NewRunCache() }
+
+// SharedRunCache returns the process-wide run cache the experiment
+// harnesses use when ExperimentConfig.Cache is nil. Use it directly for
+// ad-hoc runs that should reuse the experiments' results:
+//
+//	r, err := svf.SharedRunCache().Run(prof, opt)
+func SharedRunCache() *RunCache { return sim.SharedCache() }
+
 // Experiment result types.
 type (
 	Fig1Result   = experiments.Fig1Result
