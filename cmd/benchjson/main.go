@@ -1,0 +1,157 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable BENCH.json so the performance trajectory of the
+// simulator is tracked as data, not prose.
+//
+// Usage:
+//
+//	go test ./internal/pipeline -run '^$' -bench . | benchjson -o BENCH.json \
+//	    -baseline BenchmarkPipelineRaw=2550154
+//
+// Each -baseline flag records a reference insts/sec figure (for this repo:
+// the pre-event-driven-scheduler measurement on the same machine), and the
+// output includes the speedup of the current run against it.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	// BaselineInstsPerSec and SpeedupVsBaseline are filled when a
+	// -baseline flag names this benchmark.
+	BaselineInstsPerSec float64 `json:"baseline_insts_per_sec,omitempty"`
+	SpeedupVsBaseline   float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// benchFile is the BENCH.json document.
+type benchFile struct {
+	Goos       string        `json:"goos,omitempty"`
+	Goarch     string        `json:"goarch,omitempty"`
+	Pkg        string        `json:"pkg,omitempty"`
+	CPU        string        `json:"cpu,omitempty"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// baselines collects repeated -baseline name=insts/sec flags.
+type baselines map[string]float64
+
+func (b baselines) String() string { return fmt.Sprint(map[string]float64(b)) }
+
+func (b baselines) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=insts/sec, got %q", s)
+	}
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return err
+	}
+	b[name] = f
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output file (- for stdout)")
+	base := baselines{}
+	flag.Var(base, "baseline", "reference insts/sec as name=value (repeatable); adds speedup_vs_baseline")
+	flag.Parse()
+
+	doc, err := parse(os.Stdin, base)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	buf, err := json.MarshalIndent(doc, "", "\t")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// parse reads `go test -bench` output: context lines (goos/goarch/pkg/cpu)
+// and benchmark lines of the form
+//
+//	BenchmarkName-8   30   21681424 ns/op   9224507 insts/sec
+func parse(r io.Reader, base baselines) (*benchFile, error) {
+	doc := &benchFile{}
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. a "BenchmarkFoo" header with no results
+		}
+		b := benchResult{
+			// Strip the -GOMAXPROCS suffix so names are stable across
+			// machines.
+			Name:       strings.Split(fields[0], "-")[0],
+			Iterations: iters,
+			Metrics:    map[string]float64{},
+		}
+		// The remainder is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], line)
+			}
+			if fields[i+1] == "ns/op" {
+				b.NsPerOp = v
+			} else {
+				b.Metrics[fields[i+1]] = v
+			}
+		}
+		if ref, ok := base[b.Name]; ok && ref > 0 {
+			if ips, ok := b.Metrics["insts/sec"]; ok {
+				b.BaselineInstsPerSec = ref
+				b.SpeedupVsBaseline = ips / ref
+			}
+		}
+		doc.Benchmarks = append(doc.Benchmarks, b)
+	}
+	return doc, sc.Err()
+}

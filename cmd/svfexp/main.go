@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -29,7 +31,11 @@ import (
 	"svf/internal/sim"
 )
 
-func main() {
+func main() { os.Exit(run()) }
+
+// run holds the real main body; returning instead of os.Exit lets the
+// -cpuprofile / -memprofile defers flush even on a failing suite.
+func run() int {
 	exp := flag.String("exp", "all", "comma-separated experiments (table1, table2, fig1..fig9, table3, table4, sweep, x86, rse, scorecard, all)")
 	insts := flag.Int("insts", 400_000, "instruction budget per timing run")
 	traffic := flag.Int("traffic", 2_000_000, "instruction budget per traffic run")
@@ -37,7 +43,37 @@ func main() {
 	svgDir := flag.String("svg", "", "also render each figure as an SVG file into this directory")
 	htmlOut := flag.String("html", "", "write a single self-contained HTML report to this file")
 	cacheStats := flag.Bool("cache-stats", false, "print the shared run cache's hit/miss/dedup summary after the suite")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the suite) to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "svfexp: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "svfexp: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	var report experiments.ReportBuilder
 
@@ -205,7 +241,7 @@ func main() {
 	}
 	if ran == 0 && failed == 0 {
 		fmt.Fprintf(os.Stderr, "svfexp: no experiment matched %q\n", *exp)
-		os.Exit(2)
+		return 2
 	}
 	if *htmlOut != "" {
 		if err := os.WriteFile(*htmlOut, []byte(report.Render()), 0o644); err != nil {
@@ -219,6 +255,7 @@ func main() {
 		fmt.Println(cache.Stats())
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -29,6 +29,11 @@ type MachineConfig struct {
 	// Width is the decode = issue = commit width.
 	Width int
 	// IFQSize is the instruction fetch queue capacity.
+	//
+	// The IFQ, RUU and LSQ capacities bound occupancy exactly as
+	// configured; the backing rings are allocated at the next power of
+	// two so index arithmetic masks instead of dividing. Non-power-of-two
+	// sizes are therefore legal and model what they say.
 	IFQSize int
 	// RUUSize is the register update unit capacity.
 	RUUSize int

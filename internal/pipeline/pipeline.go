@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"math/bits"
 
 	"svf/internal/isa"
 	"svf/internal/trace"
@@ -15,6 +16,20 @@ const (
 	stDispatched
 	stIssued
 )
+
+// String names the state for diagnostics.
+func (s entryState) String() string {
+	switch s {
+	case stFree:
+		return "free"
+	case stDispatched:
+		return "dispatched"
+	case stIssued:
+		return "issued"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
 
 // dep names a producing RUU entry; seq disambiguates slot reuse.
 type dep struct {
@@ -43,6 +58,9 @@ type ruuEntry struct {
 	completeAt uint64
 	deps       [3]dep
 	ndeps      int8
+	// pending counts dependencies whose producers have not yet
+	// completed; the entry enters the ready queue when it hits zero.
+	pending int8
 
 	route      route
 	rerouted   bool // SVF access that needed the post-AGEN bounds check
@@ -51,6 +69,11 @@ type ruuEntry struct {
 	needsAGEN  bool // consumes an extra issue slot + ALU for address generation
 	memLat     int32
 	lsqIdx     int32
+
+	// consumers lists the RUU indices of younger entries waiting on this
+	// one's completion (the wakeup network). The slice's capacity is
+	// retained across slot reuse to keep the hot loop allocation-free.
+	consumers []int32
 }
 
 // lsqEntry is one in-flight memory operation, in program order.
@@ -62,6 +85,17 @@ type lsqEntry struct {
 	// gprStore marks stores that reached the SVF through a
 	// general-purpose register (the §3.2 collision hazard).
 	gprStore bool
+	// prevStore chains to the next-older in-flight store to the same
+	// address (noDep if none at insert time); with the storeIdx map it
+	// makes findLSQStore O(same-address stores) instead of O(LSQ).
+	prevStore    int32
+	prevStoreSeq uint64
+}
+
+// lsqRef names an LSQ slot; seq detects slot reuse after commit.
+type lsqRef struct {
+	idx int32
+	seq uint64
 }
 
 // ifqEntry is one fetched instruction waiting to dispatch.
@@ -116,20 +150,28 @@ func (s Stats) IPC() float64 {
 
 // Pipeline is one configured machine instance. Create with New, drive with
 // Run.
+//
+// The RUU, LSQ and IFQ rings are allocated at the next power of two above
+// their configured capacities so all index arithmetic is an AND with the
+// ring mask instead of a modulo; the configured sizes still bound
+// occupancy.
 type Pipeline struct {
 	cfg MachineConfig
 	env Env
 
 	// RUU circular buffer.
 	ruu      []ruuEntry
+	ruuMask  int
 	ruuHead  int
 	ruuCount int
 	// LSQ circular buffer.
 	lsq      []lsqEntry
+	lsqMask  int
 	lsqHead  int
 	lsqCount int
 	// IFQ circular buffer.
 	ifq      []ifqEntry
+	ifqMask  int
 	ifqHead  int
 	ifqCount int
 
@@ -137,10 +179,27 @@ type Pipeline struct {
 	seq     uint64
 	stats   Stats
 	drained bool
-	// issueSkip is the RUU offset (from the head) below which every
-	// entry has already issued; entries never revert from issued, so
-	// the issue scan can start here. Commit shifts it with the head.
-	issueSkip int
+
+	// Event-driven scheduler state (see scheduler.go).
+	//
+	// readyBits is a bitmap over RUU slots of dispatched entries whose
+	// dependencies have all completed; issue() walks the set bits in
+	// ring order from ruuHead, which is program order for the live
+	// window. readyCount tracks the population.
+	readyBits  []uint64
+	readyCount int
+	// wheel is the completion event ring: bucket (cycle % wheelBuckets)
+	// holds the entries completing at that cycle. overflow catches the
+	// rare completion beyond the wheel horizon. eventCount tracks
+	// scheduled-but-unfired completions across both.
+	wheel      [wheelBuckets][]int32
+	overflow   []overflowEvent
+	eventCount int
+
+	// storeIdx maps addresses to the youngest in-flight store in the
+	// LSQ; older same-address stores are reached through prevStore
+	// chains. Entries are removed when their store commits.
+	storeIdx *storeTab
 
 	// regProd maps architectural registers to their youngest producer.
 	regProd [isa.NumRegs]dep
@@ -148,6 +207,12 @@ type Pipeline struct {
 	// renaming that forwards stack values at register speed.
 	svfProd     []dep
 	svfProdMask uint64
+
+	// Hot-path scalars hoisted out of Config() struct returns.
+	svfBanked   bool
+	svfInfinite bool
+	il1HitLat   int
+	scHitLat    int
 
 	// decSP is the decode stage's speculative $sp copy.
 	decSP      uint64
@@ -194,10 +259,15 @@ func New(env Env) (*Pipeline, error) {
 	p := &Pipeline{
 		cfg: env.Machine,
 		env: env,
-		ruu: make([]ruuEntry, env.Machine.RUUSize),
-		lsq: make([]lsqEntry, env.Machine.LSQSize),
-		ifq: make([]ifqEntry, env.Machine.IFQSize),
+		ruu: make([]ruuEntry, ceilPow2(env.Machine.RUUSize)),
+		lsq: make([]lsqEntry, ceilPow2(env.Machine.LSQSize)),
+		ifq: make([]ifqEntry, ceilPow2(env.Machine.IFQSize)),
 	}
+	p.ruuMask = len(p.ruu) - 1
+	p.lsqMask = len(p.lsq) - 1
+	p.ifqMask = len(p.ifq) - 1
+	p.readyBits = make([]uint64, (len(p.ruu)+63)/64)
+	p.storeIdx = newStoreTab(env.Machine.LSQSize)
 	for i := range p.regProd {
 		p.regProd[i] = dep{idx: noDep}
 	}
@@ -212,6 +282,15 @@ func New(env Env) (*Pipeline, error) {
 			p.svfProd[i] = dep{idx: noDep}
 		}
 	}
+	if env.Stack.Policy == PolicySVF {
+		cfg := env.Stack.SVF.Config()
+		p.svfBanked = cfg.Banks > 0
+		p.svfInfinite = cfg.Infinite
+	}
+	if env.Stack.Policy == PolicyStackCache {
+		p.scHitLat = env.Stack.SC.Config().HitLatency
+	}
+	p.il1HitLat = env.Hier.IL1.Config().HitLatency
 	if env.CtxSwitchPeriod > 0 {
 		p.nextCtxSwitch = env.CtxSwitchPeriod
 	}
@@ -221,6 +300,15 @@ func New(env Env) (*Pipeline, error) {
 
 // Stats returns the counters so far.
 func (p *Pipeline) Stats() Stats { return p.stats }
+
+// deadlockWatchdogCycles is the commit-progress watchdog horizon: if no
+// instruction commits for this many consecutive cycles, Run aborts with a
+// diagnostic instead of spinning forever. The bound is far beyond any
+// legitimate stall in the model — the longest real dependence chains
+// through the memory hierarchy resolve within a few hundred cycles — so
+// tripping it means a genuine scheduling bug (an entry that lost its
+// wakeup, a dependence cycle) rather than a slow workload.
+const deadlockWatchdogCycles = 200_000
 
 // Run drives the pipeline until maxInsts instructions commit or the stream
 // ends, returning the final statistics.
@@ -232,6 +320,7 @@ func (p *Pipeline) Run(s trace.Stream, maxInsts uint64) (Stats, error) {
 			break
 		}
 		p.cycle++
+		p.tickEvents()
 		p.commit()
 		p.issue()
 		p.dispatch()
@@ -239,12 +328,27 @@ func (p *Pipeline) Run(s trace.Stream, maxInsts uint64) (Stats, error) {
 		if p.stats.Committed != lastCommitted {
 			lastCommitted = p.stats.Committed
 			lastCommit = p.cycle
-		} else if p.cycle-lastCommit > 200_000 {
-			return p.stats, fmt.Errorf("pipeline: no commit for %d cycles at cycle %d (deadlock?)", p.cycle-lastCommit, p.cycle)
+		} else if p.cycle-lastCommit > deadlockWatchdogCycles {
+			return p.stats, p.deadlockError(lastCommit)
 		}
+		p.fastForward(maxInsts, lastCommit+deadlockWatchdogCycles+1)
 	}
 	p.stats.Cycles = p.cycle
 	return p.stats, nil
+}
+
+// deadlockError describes a tripped watchdog, including the head RUU
+// entry's scheduling state — the instruction the whole machine is stuck
+// behind — so a real deadlock is debuggable from the error alone.
+func (p *Pipeline) deadlockError(lastCommit uint64) error {
+	base := fmt.Sprintf("pipeline: no commit for %d cycles at cycle %d (deadlock?)", p.cycle-lastCommit, p.cycle)
+	if p.ruuCount == 0 {
+		return fmt.Errorf("%s; RUU empty, IFQ %d, fetchBlocked=%v fetchResumeAt=%d interlock=%v",
+			base, p.ifqCount, p.fetchBlocked, p.fetchResumeAt, p.interlock.idx != noDep)
+	}
+	e := &p.ruu[p.ruuHead]
+	return fmt.Errorf("%s; head RUU entry: pc=%#x kind=%s seq=%d state=%s pending=%d/%d deps, completeAt=%d, route=%d",
+		base, e.inst.PC, e.inst.Kind, e.seq, e.state, e.pending, e.ndeps, e.completeAt, e.route)
 }
 
 // done reports whether a dependency has produced its value by now.
@@ -283,16 +387,19 @@ func (p *Pipeline) commit() {
 			}
 			// The LSQ retires in program order with its RUU entries.
 			if p.lsqCount > 0 && p.lsq[p.lsqHead].seq == e.seq {
-				p.lsqHead = (p.lsqHead + 1) % len(p.lsq)
+				le := &p.lsq[p.lsqHead]
+				if le.isStore {
+					// Drop the store index entry if this store is
+					// still the youngest to its address.
+					p.storeIdx.del(le.addr, le.seq)
+				}
+				p.lsqHead = (p.lsqHead + 1) & p.lsqMask
 				p.lsqCount--
 			}
 		}
 		e.state = stFree
-		p.ruuHead = (p.ruuHead + 1) % len(p.ruu)
+		p.ruuHead = (p.ruuHead + 1) & p.ruuMask
 		p.ruuCount--
-		if p.issueSkip > 0 {
-			p.issueSkip--
-		}
 		p.stats.Committed++
 
 		if p.nextCtxSwitch > 0 && p.stats.Committed >= p.nextCtxSwitch {
@@ -317,110 +424,125 @@ func (p *Pipeline) contextSwitch() {
 
 // ---- issue ----
 
+// issue selects ready entries in program order, acquiring issue slots,
+// functional units and ports exactly as the per-cycle RUU scan did.
+// Selection walks the ready bitmap in ring order from ruuHead (program
+// order for the live window). Entries blocked on a resource keep their
+// bit set (and re-charge the same port-conflict counters next cycle, as
+// the scan's re-polling did); issued entries clear their bit and schedule
+// their completion on the event wheel.
 func (p *Pipeline) issue() {
+	if p.readyCount == 0 {
+		return
+	}
 	issued := 0
 	dl1Ports := 0
 	stackPorts := 0
 	alu := 0
 	mult := 0
 	var banksBusy uint64 // bitmap of SVF banks used this cycle
-	firstDispatched := -1
-	k := p.issueSkip
-	for ; k < p.ruuCount && issued < p.cfg.Width; k++ {
-		i := (p.ruuHead + k) % len(p.ruu)
-		e := &p.ruu[i]
-		if e.state != stDispatched {
-			continue
-		}
-		if firstDispatched < 0 {
-			firstDispatched = k
-		}
-		ready := true
-		for d := int8(0); d < e.ndeps; d++ {
-			if !p.done(e.deps[d]) {
-				ready = false
+	nw := len(p.readyBits)
+	wordMask := nw - 1 // nw is a power of two
+	headWord := p.ruuHead >> 6
+	headBit := uint(p.ruuHead) & 63
+	// Walk words in ring order. The head word is split: its bits at or
+	// above headBit (the oldest entries) come first, its bits below
+	// headBit (the wrapped, youngest entries) come last (iteration nw).
+	for k := 0; k <= nw; k++ {
+		wi := (headWord + k) & wordMask
+		w := p.readyBits[wi]
+		if k == 0 {
+			w &= ^uint64(0) << headBit
+		} else if k == nw {
+			if headBit == 0 {
 				break
 			}
+			wi = headWord
+			w = p.readyBits[wi] & (1<<headBit - 1)
 		}
-		if !ready {
-			continue
-		}
-		// Resource acquisition.
-		var lat int
-		switch {
-		case e.inst.IsMem():
-			// Address generation occupies an extra issue slot and an
-			// ALU; morphed SVF references resolve their address in
-			// decode and skip it (§3.1).
-			slots := 1
-			if e.needsAGEN {
-				if alu >= p.cfg.IntALU || issued+2 > p.cfg.Width {
-					continue
-				}
-				slots = 2
+		for w != 0 {
+			if issued >= p.cfg.Width {
+				return
 			}
-			switch e.route {
-			case routeDL1:
-				if dl1Ports >= p.cfg.DL1Ports {
-					p.stats.DL1PortConflicts++
-					continue
+			b := bits.TrailingZeros64(w)
+			w &^= 1 << uint(b)
+			i := int32(wi<<6 | b)
+			e := &p.ruu[i]
+			// Resource acquisition.
+			var lat int
+			switch {
+			case e.inst.IsMem():
+				// Address generation occupies an extra issue slot and
+				// an ALU; morphed SVF references resolve their address
+				// in decode and skip it (§3.1).
+				slots := 1
+				if e.needsAGEN {
+					if alu >= p.cfg.IntALU || issued+2 > p.cfg.Width {
+						continue
+					}
+					slots = 2
 				}
-				dl1Ports++
-			case routeStack, routeSVF, routeRSE:
-				// A banked SVF serves one access per bank per cycle
-				// (§7); otherwise port accounting is in half-port
-				// units: loads need a full port; morphed SVF stores
-				// (and RSE register writes) drain through the banked
-				// store path at half a port's cost.
-				if e.route == routeSVF && p.env.Stack.SVF.Config().Banks > 0 {
-					bit := uint64(1) << uint(p.env.Stack.SVF.Bank(e.inst.Addr))
-					if banksBusy&bit != 0 {
+				switch e.route {
+				case routeDL1:
+					if dl1Ports >= p.cfg.DL1Ports {
+						p.stats.DL1PortConflicts++
+						continue
+					}
+					dl1Ports++
+				case routeStack, routeSVF, routeRSE:
+					// A banked SVF serves one access per bank per cycle
+					// (§7); otherwise port accounting is in half-port
+					// units: loads need a full port; morphed SVF stores
+					// (and RSE register writes) drain through the
+					// banked store path at half a port's cost.
+					if e.route == routeSVF && p.svfBanked {
+						bit := uint64(1) << uint(p.env.Stack.SVF.Bank(e.inst.Addr))
+						if banksBusy&bit != 0 {
+							p.stats.StackPortConflicts++
+							continue
+						}
+						banksBusy |= bit
+						break
+					}
+					cost := 2
+					if (e.route == routeSVF || e.route == routeRSE) && !e.rerouted && e.inst.Kind == isa.KindStore {
+						cost = 1
+					}
+					if p.env.Stack.Ports > 0 && stackPorts+cost > 2*p.env.Stack.Ports {
 						p.stats.StackPortConflicts++
 						continue
 					}
-					banksBusy |= bit
-					break
+					stackPorts += cost
 				}
-				cost := 2
-				if (e.route == routeSVF || e.route == routeRSE) && !e.rerouted && e.inst.Kind == isa.KindStore {
-					cost = 1
+				if e.needsAGEN {
+					alu++
 				}
-				if p.env.Stack.Ports > 0 && stackPorts+cost > 2*p.env.Stack.Ports {
-					p.stats.StackPortConflicts++
+				issued += slots - 1
+				lat = int(e.memLat)
+			case e.inst.Kind == isa.KindMult:
+				if mult >= p.cfg.IntMult {
 					continue
 				}
-				stackPorts += cost
-			}
-			if e.needsAGEN {
+				mult++
+				lat = p.cfg.MultLat
+			default:
+				if alu >= p.cfg.IntALU {
+					continue
+				}
 				alu++
+				lat = p.cfg.ALULat
 			}
-			issued += slots - 1
-			lat = int(e.memLat)
-		case e.inst.Kind == isa.KindMult:
-			if mult >= p.cfg.IntMult {
-				continue
+			p.readyBits[wi] &^= 1 << uint(b)
+			p.readyCount--
+			e.state = stIssued
+			e.completeAt = p.cycle + uint64(lat)
+			p.scheduleCompletion(i, e.completeAt)
+			issued++
+			if e.mispredict {
+				// The front end refetches once the branch resolves.
+				p.fetchResumeAt = e.completeAt + uint64(p.cfg.MispredictPenalty)
 			}
-			mult++
-			lat = p.cfg.MultLat
-		default:
-			if alu >= p.cfg.IntALU {
-				continue
-			}
-			alu++
-			lat = p.cfg.ALULat
 		}
-		e.state = stIssued
-		e.completeAt = p.cycle + uint64(lat)
-		issued++
-		if e.mispredict {
-			// The front end refetches once the branch resolves.
-			p.fetchResumeAt = e.completeAt + uint64(p.cfg.MispredictPenalty)
-		}
-	}
-	if firstDispatched >= 0 {
-		p.issueSkip = firstDispatched
-	} else {
-		p.issueSkip = k
 	}
 }
 
@@ -442,26 +564,42 @@ func (p *Pipeline) dispatch() {
 		if fe.fetchedAt >= p.cycle {
 			return // still in decode
 		}
-		if p.ruuCount >= len(p.ruu) {
+		if p.ruuCount >= p.cfg.RUUSize {
 			p.stats.RUUFullStalls++
 			return
 		}
-		if fe.inst.IsMem() && p.lsqCount >= len(p.lsq) {
+		if fe.inst.IsMem() && p.lsqCount >= p.cfg.LSQSize {
 			p.stats.LSQFullStalls++
 			return
 		}
-		inst := fe.inst
-		mis := fe.mispredict
-		p.ifqHead = (p.ifqHead + 1) % len(p.ifq)
+		p.ifqHead = (p.ifqHead + 1) & p.ifqMask
 		p.ifqCount--
 
-		idx := (p.ruuHead + p.ruuCount) % len(p.ruu)
+		idx := (p.ruuHead + p.ruuCount) & p.ruuMask
 		p.ruuCount++
 		p.seq++
 		e := &p.ruu[idx]
-		*e = ruuEntry{inst: inst, seq: p.seq, state: stDispatched, mispredict: mis, lsqIdx: -1}
+		// Field-wise reset: a whole-struct literal would copy ~130 bytes
+		// per dispatch and discard the consumers allocation. The freed
+		// IFQ slot stays intact until fetch() runs later this cycle, so
+		// reading fe through the copy is safe.
+		e.inst = fe.inst
+		e.seq = p.seq
+		e.state = stDispatched
+		e.completeAt = 0
+		e.ndeps = 0
+		e.pending = 0
+		e.route = routeNone
+		e.rerouted = false
+		e.forwarded = false
+		e.mispredict = fe.mispredict
+		e.needsAGEN = false
+		e.memLat = 0
+		e.lsqIdx = -1
+		e.consumers = e.consumers[:0] // keep the allocation across slot reuse
 
 		stallAfter := p.dispatchInst(e, int32(idx))
+		p.linkDeps(int32(idx), e)
 		if stallAfter {
 			return
 		}
@@ -596,7 +734,7 @@ func (p *Pipeline) dispatchMem(e *ruuEntry, idx int32) bool {
 		if inStack && p.env.Stack.SVF.Contains(inst.Addr) {
 			e.route = routeSVF
 			e.rerouted = !inst.SPRelative()
-			if p.env.Stack.SVF.Config().Infinite {
+			if p.svfInfinite {
 				// Figure 5's limit study assumes every stack
 				// reference morphs into a register move.
 				e.rerouted = false
@@ -653,7 +791,7 @@ func (p *Pipeline) dispatchMem(e *ruuEntry, idx int32) bool {
 			p.addDepRaw(e, p.svfProd[svfIdx])
 			// §3.2 hazard: an older in-flight $gpr store to the same
 			// address is invisible to the renamer; detect and squash.
-			if si := p.findLSQStore(inst.Addr, true); si >= 0 && !p.env.Stack.SVF.Config().Infinite {
+			if si := p.findLSQStore(inst.Addr, true); si >= 0 && !p.svfInfinite {
 				p.stats.Squashes++
 				p.addDepRaw(e, dep{idx: p.lsq[si].ruuIdx, seq: p.lsq[si].seq})
 				if !p.cfg.NoSquash {
@@ -694,13 +832,21 @@ func (p *Pipeline) dispatchMem(e *ruuEntry, idx int32) bool {
 
 	// Every memory reference occupies an LSQ slot, including morphed
 	// references (their disambiguation uop, §3.2).
-	li := (p.lsqHead + p.lsqCount) % len(p.lsq)
+	li := (p.lsqHead + p.lsqCount) & p.lsqMask
 	p.lsq[li] = lsqEntry{
-		addr:     inst.Addr,
-		seq:      e.seq,
-		ruuIdx:   idx,
-		isStore:  isStore,
-		gprStore: isStore && !inst.SPRelative() && inStack,
+		addr:      inst.Addr,
+		seq:       e.seq,
+		ruuIdx:    idx,
+		isStore:   isStore,
+		gprStore:  isStore && !inst.SPRelative() && inStack,
+		prevStore: noDep,
+	}
+	if isStore {
+		le := &p.lsq[li]
+		if prev, ok := p.storeIdx.get(inst.Addr); ok {
+			le.prevStore, le.prevStoreSeq = prev.idx, prev.seq
+		}
+		p.storeIdx.put(inst.Addr, lsqRef{idx: int32(li), seq: e.seq})
 	}
 	p.lsqCount++
 	e.lsqIdx = int32(li)
@@ -734,7 +880,7 @@ func (p *Pipeline) accessMem(e *ruuEntry, inst *isa.Inst, isStore bool) int32 {
 	switch e.route {
 	case routeStack:
 		lat = p.env.Stack.SC.Access(inst.Addr, isStore)
-		if isStore && lat > p.env.Stack.SC.Config().HitLatency {
+		if isStore && lat > p.scHitLat {
 			// A stack-cache write miss must read the rest of the line
 			// before the write completes (§5.3.2); the fill occupies
 			// the small structure's port, so the store cannot slip
@@ -753,20 +899,31 @@ func (p *Pipeline) accessMem(e *ruuEntry, inst *isa.Inst, isStore bool) int32 {
 	return int32(lat)
 }
 
-// findLSQStore scans the LSQ youngest-first for an in-flight store to addr.
+// findLSQStore returns the youngest in-flight store to addr, or -1.
 // gprOnly restricts the search to $gpr-addressed stack stores (the §3.2
-// collision hazard).
+// collision hazard). Instead of scanning the whole LSQ youngest-first as
+// the original did, it follows the per-address prevStore chain from the
+// storeIdx map — same result, O(same-address stores) work. A chain link
+// whose slot is unoccupied or reused belongs to a committed store, and
+// in-order commit means every older link has committed too, so the walk
+// stops there.
 func (p *Pipeline) findLSQStore(addr uint64, gprOnly bool) int {
-	for k := p.lsqCount - 1; k >= 0; k-- {
-		i := (p.lsqHead + k) % len(p.lsq)
-		le := &p.lsq[i]
-		if !le.isStore || le.addr != addr {
-			continue
+	r, ok := p.storeIdx.get(addr)
+	if !ok {
+		return -1
+	}
+	for r.idx >= 0 {
+		if (int(r.idx)-p.lsqHead)&p.lsqMask >= p.lsqCount {
+			break // slot no longer occupied: committed
 		}
-		if gprOnly && !le.gprStore {
-			continue
+		le := &p.lsq[r.idx]
+		if le.seq != r.seq {
+			break // slot reused: the recorded store committed
 		}
-		return i
+		if !gprOnly || le.gprStore {
+			return int(r.idx)
+		}
+		r = lsqRef{idx: le.prevStore, seq: le.prevStoreSeq}
 	}
 	return -1
 }
@@ -784,34 +941,36 @@ func (p *Pipeline) fetch(s trace.Stream) {
 	if p.cycle < p.fetchStallTo {
 		return // instruction-cache miss in service
 	}
-	for n := 0; n < p.cfg.Width && p.ifqCount < len(p.ifq); n++ {
+	for n := 0; n < p.cfg.Width && p.ifqCount < p.cfg.IFQSize; n++ {
 		if p.drained {
 			return
 		}
-		var inst isa.Inst
-		if !s.Next(&inst) {
+		// Decode straight into the IFQ slot; the slot is free, and one
+		// copy beats two.
+		fe := &p.ifq[(p.ifqHead+p.ifqCount)&p.ifqMask]
+		if !s.Next(&fe.inst) {
 			p.drained = true
 			return
 		}
+		fe.fetchedAt = p.cycle
+		fe.mispredict = false
 		p.stats.Fetched++
 		// Crossing into a new IL1 line probes the instruction cache; a
 		// miss stalls the front end for the fill.
-		if blk := inst.PC &^ 63; blk != p.fetchBlock {
+		if blk := fe.inst.PC &^ 63; blk != p.fetchBlock {
 			p.fetchBlock = blk
-			lat := p.env.Hier.IL1.Access(inst.PC, false)
-			if il1Hit := p.env.Hier.IL1.Config().HitLatency; lat > il1Hit {
+			lat := p.env.Hier.IL1.Access(fe.inst.PC, false)
+			if il1Hit := p.il1HitLat; lat > il1Hit {
 				p.stats.IL1Misses++
 				p.fetchStallTo = p.cycle + uint64(lat-il1Hit)
 			}
 		}
-		fe := &p.ifq[(p.ifqHead+p.ifqCount)%len(p.ifq)]
-		*fe = ifqEntry{inst: inst, fetchedAt: p.cycle}
 		p.ifqCount++
-		if inst.Kind == isa.KindBranch {
+		if fe.inst.Kind == isa.KindBranch {
 			p.stats.Branches++
-			actual := inst.Taken()
-			pred := p.env.Pred.Predict(inst.PC, actual)
-			p.env.Pred.Update(inst.PC, actual)
+			actual := fe.inst.Taken()
+			pred := p.env.Pred.Predict(fe.inst.PC, actual)
+			p.env.Pred.Update(fe.inst.PC, actual)
 			if pred != actual {
 				p.stats.Mispredicts++
 				fe.mispredict = true

@@ -1,0 +1,252 @@
+package pipeline
+
+// This file is the event-driven scheduler core. The original model
+// re-derived readiness by brute force: every cycle, issue() walked the
+// whole RUU and re-polled done() on every dependency of every dispatched
+// entry — O(window × deps) work per cycle even when nothing changed. The
+// rewrite inverts control so that work is proportional to what actually
+// happens:
+//
+//   - Wakeup/select: each in-flight entry carries an outstanding-dependency
+//     counter (pending) and each producer a consumer list. When a producer
+//     completes it decrements its consumers' counters; an entry whose
+//     counter reaches zero sets its bit in the ready bitmap that issue()
+//     selects from, in ring (= program) order.
+//   - Completion event wheel: completions are scheduled into a ring of
+//     cycle buckets at issue time and fire exactly once, instead of every
+//     entry comparing completeAt <= cycle every cycle.
+//   - Idle fast-forward: when the ready queue is empty and every stage is
+//     provably blocked until the next scheduled event, the clock jumps to
+//     that event instead of spinning through no-op cycles (Run still
+//     charges the per-cycle stall counters those cycles would have
+//     accumulated, so Stats stay bit-identical).
+//
+// The invariant throughout: the event-driven machine is observationally
+// equivalent to the per-cycle scan — same cycle counts, same counters, same
+// functional traffic. TestGoldenDeterminism in internal/sim holds it to
+// that across every profile and policy.
+
+// wheelBuckets sizes the completion event wheel. It must exceed the
+// largest single completion latency the memory system can return (a DL1 +
+// UL2 + main-memory miss chain is well under 1024 cycles); rarer, longer
+// latencies spill into the unordered overflow list.
+const wheelBuckets = 1024
+
+// overflowEvent is a completion scheduled beyond the wheel horizon.
+type overflowEvent struct {
+	at  uint64
+	idx int32
+}
+
+// scheduleCompletion registers entry idx's completion at cycle at.
+func (p *Pipeline) scheduleCompletion(idx int32, at uint64) {
+	if at <= p.cycle {
+		// Every functional-unit and memory latency in the model is >= 1
+		// cycle (config validation and the structure defaults enforce
+		// it), so a completion can never land on the current cycle,
+		// whose bucket has already fired.
+		panic("pipeline: zero-latency completion")
+	}
+	p.eventCount++
+	if at-p.cycle < wheelBuckets {
+		b := at & (wheelBuckets - 1)
+		p.wheel[b] = append(p.wheel[b], idx)
+		return
+	}
+	p.overflow = append(p.overflow, overflowEvent{at: at, idx: idx})
+}
+
+// tickEvents fires the completions scheduled for the current cycle. It
+// runs before commit so a producer's consumers are woken in the same
+// cycle the old scan would first have observed completeAt <= cycle.
+func (p *Pipeline) tickEvents() {
+	if p.eventCount == 0 {
+		return
+	}
+	b := &p.wheel[p.cycle&(wheelBuckets-1)]
+	if len(*b) > 0 {
+		p.eventCount -= len(*b)
+		for _, idx := range *b {
+			p.complete(idx)
+		}
+		*b = (*b)[:0]
+	}
+	if len(p.overflow) > 0 {
+		w := 0
+		for _, ev := range p.overflow {
+			if ev.at == p.cycle {
+				p.eventCount--
+				p.complete(ev.idx)
+				continue
+			}
+			p.overflow[w] = ev
+			w++
+		}
+		p.overflow = p.overflow[:w]
+	}
+}
+
+// setReady marks RUU slot i selectable by issue().
+func (p *Pipeline) setReady(i int32) {
+	p.readyBits[i>>6] |= 1 << uint(i&63)
+	p.readyCount++
+}
+
+// complete wakes the consumers of a completing entry.
+func (p *Pipeline) complete(idx int32) {
+	e := &p.ruu[idx]
+	for _, c := range e.consumers {
+		ce := &p.ruu[c]
+		ce.pending--
+		if ce.pending == 0 {
+			p.setReady(c)
+		}
+	}
+	e.consumers = e.consumers[:0]
+}
+
+// linkDeps installs a freshly dispatched entry into the wakeup network:
+// each still-outstanding dependency registers the entry on its producer's
+// consumer list; an entry with no outstanding dependencies becomes ready
+// immediately. A dependency appearing twice (e.g. Src1 == Src2) registers
+// twice and is decremented twice — the counts stay balanced.
+func (p *Pipeline) linkDeps(idx int32, e *ruuEntry) {
+	for d := int8(0); d < e.ndeps; d++ {
+		dd := e.deps[d]
+		pe := &p.ruu[dd.idx]
+		if pe.state == stFree || pe.seq != dd.seq {
+			continue // producer already committed
+		}
+		if pe.state == stIssued && pe.completeAt <= p.cycle {
+			continue // produced this cycle or earlier
+		}
+		pe.consumers = append(pe.consumers, idx)
+		e.pending++
+	}
+	if e.pending == 0 {
+		p.setReady(idx)
+	}
+}
+
+// nextEventCycle returns the cycle of the earliest scheduled completion
+// strictly after the current cycle. The wheel scan is bounded by the
+// distance to that event — the same cycles a spinning loop would have
+// burned, at a bucket-emptiness check each instead of a full RUU scan.
+func (p *Pipeline) nextEventCycle() (uint64, bool) {
+	if p.eventCount == 0 {
+		return 0, false
+	}
+	best := uint64(0)
+	found := false
+	for x := p.cycle + 1; x <= p.cycle+wheelBuckets; x++ {
+		if len(p.wheel[x&(wheelBuckets-1)]) > 0 {
+			best, found = x, true
+			break
+		}
+	}
+	for _, ev := range p.overflow {
+		if !found || ev.at < best {
+			best, found = ev.at, true
+		}
+	}
+	return best, found
+}
+
+// fastForward jumps the clock over cycles in which provably nothing can
+// happen: the ready queue is empty and commit, dispatch and fetch are all
+// blocked until at least the next scheduled completion. maxCycle bounds
+// the jump (the deadlock watchdog's horizon). Cycles skipped are charged
+// to the same per-cycle stall counter the spinning loop would have bumped
+// (Interlocks, RUUFullStalls or LSQFullStalls), so Stats stay
+// bit-identical.
+func (p *Pipeline) fastForward(maxInsts, maxCycle uint64) {
+	if p.stats.Committed >= maxInsts {
+		return // the run is over; do not advance the clock
+	}
+	if p.drained && p.ruuCount == 0 && p.ifqCount == 0 {
+		return // the run is about to terminate
+	}
+	if p.readyCount > 0 {
+		return // something can issue next cycle
+	}
+	// Commit: the head must stay incomplete. An issued head's completion
+	// is a scheduled event, which bounds the jump below; an unissued head
+	// cannot complete without first waking (no ready entries, no wakes
+	// before the next event).
+	if p.ruuCount > 0 && p.entryDone(&p.ruu[p.ruuHead]) {
+		return
+	}
+
+	// target is the earliest cycle at which anything can change; counter,
+	// if set, is the dispatch stall counter each skipped cycle must bump.
+	target := maxCycle
+	var counter *uint64
+	cap := func(c uint64) {
+		if c < target {
+			target = c
+		}
+	}
+
+	// Dispatch: find its blocking condition, in dispatch() order.
+	switch {
+	case p.cycle+1 < p.dispatchHoldTo:
+		cap(p.dispatchHoldTo)
+	case p.interlock.idx != noDep:
+		if p.done(p.interlock) {
+			return // dispatch clears the interlock and proceeds
+		}
+		counter = &p.stats.Interlocks
+	case p.ifqCount == 0:
+		// Nothing to dispatch; the IFQ only refills via fetch, which
+		// must itself be blocked (checked below).
+	case p.ifq[p.ifqHead].fetchedAt >= p.cycle+1:
+		cap(p.ifq[p.ifqHead].fetchedAt + 1) // still in decode
+	case p.ruuCount >= p.cfg.RUUSize:
+		counter = &p.stats.RUUFullStalls
+	case p.ifq[p.ifqHead].inst.IsMem() && p.lsqCount >= p.cfg.LSQSize:
+		counter = &p.stats.LSQFullStalls
+	default:
+		return // dispatch can make progress
+	}
+
+	// Fetch: must be blocked (or out of work) through the window.
+	switch {
+	case p.drained:
+	case p.fetchBlocked:
+		if p.fetchResumeAt != 0 {
+			if p.fetchResumeAt <= p.cycle+1 {
+				return // resumes next cycle
+			}
+			cap(p.fetchResumeAt)
+		}
+		// fetchResumeAt == 0: blocked until the mispredicted branch
+		// issues, which needs a wakeup — none before the next event.
+	case p.cycle+1 < p.fetchStallTo:
+		cap(p.fetchStallTo) // IL1 miss in service
+	case p.ifqCount >= p.cfg.IFQSize:
+		// Full queue; only dispatch drains it, and dispatch is blocked.
+	default:
+		return // fetch can make progress
+	}
+
+	if next, ok := p.nextEventCycle(); ok {
+		cap(next)
+	}
+	if target <= p.cycle+1 {
+		return // nothing to skip
+	}
+	skipped := target - p.cycle - 1
+	if counter != nil {
+		*counter += skipped
+	}
+	p.cycle = target - 1
+}
+
+// ceilPow2 rounds n up to the next power of two (min 1).
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
