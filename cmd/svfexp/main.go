@@ -15,19 +15,35 @@
 // contents and canonical machine options, so identical configurations —
 // within one figure, across figures, or between a figure and the scorecard
 // — simulate exactly once; -cache-stats prints the hit/miss/dedup summary.
+//
+// Runs are supervised (see DESIGN.md, "Fault domains and supervision"):
+// a simulator panic or deadlock is contained to its cell and reported as a
+// typed fault rather than crashing the process. -on-fault picks the policy:
+// "continue" (the default) records the fault, renders the cell as "n/a"
+// and finishes the suite with exit status 0; "fail" cancels the remaining
+// work in that experiment and exits 1. -run-timeout bounds each individual
+// simulation; Ctrl-C (SIGINT) or SIGTERM cancels the whole suite promptly
+// and exits 130. -inject enables deterministic fault injection (e.g.
+// -inject "bench=186.crafty.ref,panic=5000") for supervision testing; its
+// spec grammar is documented in svf/internal/faultinject. A fault summary
+// — fingerprint, benchmark, cycle — is printed to stderr after the suite.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"svf/internal/experiments"
+	"svf/internal/faultinject"
 	"svf/internal/sim"
 )
 
@@ -45,7 +61,24 @@ func run() int {
 	cacheStats := flag.Bool("cache-stats", false, "print the shared run cache's hit/miss/dedup summary after the suite")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole suite to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the suite) to this file")
+	runTimeout := flag.Duration("run-timeout", 0, "deadline per individual simulation run (0 = none)")
+	onFault := flag.String("on-fault", "continue", `simulation-fault policy: "continue" renders failed cells as gaps, "fail" aborts the experiment`)
+	inject := flag.String("inject", "", `deterministic fault-injection spec, e.g. "bench=186.crafty.ref,panic=5000" (see svf/internal/faultinject)`)
 	flag.Parse()
+
+	policy, err := experiments.ParseFaultPolicy(*onFault)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svfexp: -on-fault: %v\n", err)
+		return 2
+	}
+	plan, err := faultinject.Parse(*inject)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svfexp: -inject: %v\n", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -97,7 +130,11 @@ func run() int {
 	}
 
 	cache := sim.SharedCache()
-	cfg := experiments.Config{MaxInsts: *insts, TrafficInsts: *traffic, Parallel: *parallel, Cache: cache}
+	faults := experiments.NewFaultLog()
+	cfg := experiments.Config{
+		MaxInsts: *insts, TrafficInsts: *traffic, Parallel: *parallel, Cache: cache,
+		Ctx: ctx, RunTimeout: *runTimeout, OnFault: policy, Faults: faults, Inject: plan,
+	}
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -254,8 +291,17 @@ func run() int {
 	if *cacheStats {
 		fmt.Println(cache.Stats())
 	}
+	if s := faults.Summary(); s != "" {
+		fmt.Fprint(os.Stderr, "svfexp: "+s)
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "svfexp: interrupted")
+		return 130
+	}
 	if failed > 0 {
 		return 1
 	}
+	// Contained faults under -on-fault=continue degrade cells to gaps but do
+	// not fail the suite; they were reported above.
 	return 0
 }

@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -159,7 +160,7 @@ func replay(args []string) {
 	default:
 		fatal(fmt.Errorf("unknown policy %q", *policy))
 	}
-	r, err := sim.RunStream(fs.Arg(0), trace.NewSliceStream(insts), opt)
+	r, err := sim.RunStream(context.Background(), fs.Arg(0), trace.NewSliceStream(insts), opt)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"svf/internal/regions"
 	"svf/internal/stats"
 )
@@ -30,11 +32,18 @@ type Fig1Result struct {
 func Fig1(cfg Config) (*Fig1Result, error) {
 	cfg.fillDefaults()
 	res := &Fig1Result{Rows: make([]Fig1Row, len(cfg.Benchmarks))}
-	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(i int) error {
+	for i, prof := range cfg.Benchmarks {
+		res.Rows[i] = Fig1Row{
+			Bench: prof.ID(), MemFrac: nan,
+			StackSP: nan, StackFP: nan, StackGPR: nan,
+			Global: nan, ROData: nan, Heap: nan, Other: nan,
+		}
+	}
+	err := cfg.forEach(len(cfg.Benchmarks), func(ctx context.Context, i int) error {
 		prof := cfg.Benchmarks[i]
-		c, err := cfg.Cache.Characterize(prof, cfg.TrafficInsts)
+		c, err := cfg.characterize(ctx, prof, cfg.TrafficInsts)
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
 		stack := c.StackFrac()
 		res.Rows[i] = Fig1Row{
@@ -66,7 +75,7 @@ func (r *Fig1Result) Table() *stats.Table {
 		st = append(st, row.StackTotal())
 		mem = append(mem, row.MemFrac)
 	}
-	t.AddRow("average", stats.Mean(mem), stats.Mean(sp), "", "", stats.Mean(st), "", "", "")
+	t.AddRow("average", stats.MeanValid(mem), stats.MeanValid(sp), "", "", stats.MeanValid(st), "", "", "")
 	return t
 }
 
@@ -89,11 +98,14 @@ type Fig2Result struct {
 func Fig2(cfg Config) (*Fig2Result, error) {
 	cfg.fillDefaults()
 	res := &Fig2Result{Series: make([]Fig2Series, len(cfg.Benchmarks))}
-	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(i int) error {
+	for i, prof := range cfg.Benchmarks {
+		res.Series[i] = Fig2Series{Bench: prof.ID()}
+	}
+	err := cfg.forEach(len(cfg.Benchmarks), func(ctx context.Context, i int) error {
 		prof := cfg.Benchmarks[i]
-		c, err := cfg.Cache.Characterize(prof, cfg.TrafficInsts)
+		c, err := cfg.characterize(ctx, prof, cfg.TrafficInsts)
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
 		res.Series[i] = Fig2Series{
 			Bench:         prof.ID(),
@@ -146,11 +158,14 @@ type Fig3Result struct {
 func Fig3(cfg Config) (*Fig3Result, error) {
 	cfg.fillDefaults()
 	res := &Fig3Result{Rows: make([]Fig3Row, len(cfg.Benchmarks))}
-	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(i int) error {
+	for i, prof := range cfg.Benchmarks {
+		res.Rows[i] = Fig3Row{Bench: prof.ID(), MeanOffsetBytes: nan, Within8KB: nan}
+	}
+	err := cfg.forEach(len(cfg.Benchmarks), func(ctx context.Context, i int) error {
 		prof := cfg.Benchmarks[i]
-		c, err := cfg.Cache.Characterize(prof, cfg.TrafficInsts)
+		c, err := cfg.characterize(ctx, prof, cfg.TrafficInsts)
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
 		row := Fig3Row{
 			Bench:           prof.ID(),
@@ -180,7 +195,9 @@ func (r *Fig3Result) Table() *stats.Table {
 					return row.CumAt[i]
 				}
 			}
-			return 0
+			// No data — a failed row (or a bound outside the
+			// histogram) renders as a gap.
+			return nan
 		}
 		t.AddRow(row.Bench, row.MeanOffsetBytes, at(64), at(256), at(1024), at(8192))
 	}

@@ -3,17 +3,60 @@
 // simulations and returns both the raw per-benchmark numbers (for tests and
 // programmatic use) and a formatted table matching the paper's
 // presentation.
+//
+// Suites are supervised: each cell's simulation runs under the suite
+// context (Config.Ctx) with an optional per-run deadline
+// (Config.RunTimeout), and a failed cell either aborts the suite
+// (FaultFail) or is recorded in Config.Faults and rendered as a gap
+// (FaultContinue) while the remaining cells complete. See DESIGN.md,
+// "Fault domains and supervision".
 package experiments
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"time"
 
+	"svf/internal/faultinject"
+	"svf/internal/pipeline"
 	"svf/internal/sim"
 	"svf/internal/synth"
 )
+
+// FaultPolicy decides what a suite does when one cell's simulation fails.
+type FaultPolicy int
+
+const (
+	// FaultFail aborts the suite on the first failed cell (the library
+	// default): the error propagates and sibling runs are cancelled.
+	FaultFail FaultPolicy = iota
+	// FaultContinue records the failure (Config.Faults) and renders the
+	// cell as an annotated gap, letting the rest of the suite complete.
+	FaultContinue
+)
+
+// String names the policy (the svfexp -on-fault flag values).
+func (p FaultPolicy) String() string {
+	if p == FaultContinue {
+		return "continue"
+	}
+	return "fail"
+}
+
+// ParseFaultPolicy parses "fail" or "continue".
+func ParseFaultPolicy(s string) (FaultPolicy, error) {
+	switch s {
+	case "fail":
+		return FaultFail, nil
+	case "continue":
+		return FaultContinue, nil
+	}
+	return FaultFail, fmt.Errorf("experiments: unknown fault policy %q (want fail or continue)", s)
+}
 
 // Config controls experiment execution.
 type Config struct {
@@ -36,6 +79,24 @@ type Config struct {
 	// process-wide shared cache (sim.SharedCache()); use sim.NewRunCache()
 	// for an isolated one (benchmarks do, to keep timings honest).
 	Cache *sim.RunCache
+	// Ctx cancels the whole suite: when it is done, in-flight simulations
+	// stop at their next poll point and the suite returns the context's
+	// error. Nil means context.Background() (never cancelled).
+	Ctx context.Context
+	// RunTimeout, when positive, bounds each individual simulation; a run
+	// that exceeds it fails with context.DeadlineExceeded and is treated
+	// like any other cell fault (recorded, degradable).
+	RunTimeout time.Duration
+	// OnFault selects the failure policy (default FaultFail).
+	OnFault FaultPolicy
+	// Faults, when non-nil, collects every cell failure (except suite
+	// cancellation) regardless of policy, so callers can report what
+	// degraded even when the suite "succeeded".
+	Faults *FaultLog
+	// Inject, when non-nil, applies a deterministic fault plan
+	// (internal/faultinject) to every timing run whose benchmark matches
+	// the plan. Chaos-testing hook; leave nil for real measurements.
+	Inject *faultinject.Plan
 }
 
 func (c *Config) fillDefaults() {
@@ -54,16 +115,36 @@ func (c *Config) fillDefaults() {
 	if c.Cache == nil {
 		c.Cache = sim.SharedCache()
 	}
+	if c.Ctx == nil {
+		c.Ctx = context.Background()
+	}
 }
 
-// forEach runs f(i) for i in [0, n) with bounded parallelism. It fails
-// fast: the first task error cancels the matrix — tasks not yet started are
-// skipped rather than run to completion — and is returned.
-func forEach(parallel, n int, f func(i int) error) error {
+// nan marks a cell whose simulation failed; renderers draw it as a gap.
+var nan = math.NaN()
+
+// isCancellation reports whether err is the suite being told to stop, as
+// opposed to a cell breaking on its own.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled)
+}
+
+// forEach runs f(ctx, i) for i in [0, n) with bounded parallelism under a
+// context derived from the suite's. It fails fast: the first task error
+// cancels the derived context — tasks not yet started are skipped, and
+// in-flight simulations stop at their next poll point — and is returned.
+// When both a real fault and cancellation fallout race, the real fault
+// wins.
+func (c Config) forEach(n int, f func(ctx context.Context, i int) error) error {
+	parallel := c.Parallel
 	if parallel < 1 {
 		parallel = 1
 	}
-	ctx, cancel := context.WithCancel(context.Background())
+	parent := c.Ctx
+	if parent == nil {
+		parent = context.Background()
+	}
+	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	sem := make(chan struct{}, parallel)
 	var (
@@ -83,9 +164,9 @@ func forEach(parallel, n int, f func(i int) error) error {
 			if ctx.Err() != nil {
 				return
 			}
-			if err := f(i); err != nil {
+			if err := f(ctx, i); err != nil {
 				mu.Lock()
-				if firstErr == nil {
+				if firstErr == nil || (isCancellation(firstErr) && !isCancellation(err)) {
 					firstErr = fmt.Errorf("experiments: task %d: %w", i, err)
 				}
 				mu.Unlock()
@@ -96,5 +177,85 @@ func forEach(parallel, n int, f func(i int) error) error {
 	wg.Wait()
 	mu.Lock()
 	defer mu.Unlock()
+	if firstErr == nil && parent.Err() != nil {
+		// The suite was cancelled before (or while) the tasks ran and no
+		// task observed it: propagate so an already-cancelled suite never
+		// reports success over empty cells.
+		return parent.Err()
+	}
 	return firstErr
+}
+
+// run executes one supervised timing simulation: the suite's fault plan is
+// attached, the per-run deadline applied, and any failure recorded.
+func (c Config) run(ctx context.Context, prof *synth.Profile, opt sim.Options) (*sim.Result, error) {
+	if opt.FaultPlan == nil {
+		opt.FaultPlan = c.Inject
+	}
+	if c.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.RunTimeout)
+		defer cancel()
+	}
+	res, err := c.Cache.Run(ctx, prof, opt)
+	c.record(err)
+	return res, err
+}
+
+// traffic is run's counterpart for functional traffic simulations.
+func (c Config) traffic(ctx context.Context, prof *synth.Profile, policy pipeline.StackPolicy, sizeBytes, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+	if c.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.RunTimeout)
+		defer cancel()
+	}
+	qwIn, qwOut, ctxBytes, err = c.Cache.Traffic(ctx, prof, policy, sizeBytes, maxInsts, ctxPeriod)
+	c.record(err)
+	return
+}
+
+// characterize is run's counterpart for characterisation passes.
+func (c Config) characterize(ctx context.Context, prof *synth.Profile, maxInsts int) (*synth.Characterization, error) {
+	if c.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.RunTimeout)
+		defer cancel()
+	}
+	ch, err := c.Cache.Characterize(ctx, prof, maxInsts)
+	c.record(err)
+	return ch, err
+}
+
+// record logs a cell failure. Suite cancellation is not a fault — the user
+// asked the work to stop — so it is never recorded; per-run deadline
+// expiries are.
+func (c Config) record(err error) {
+	if err == nil || c.Faults == nil || isCancellation(err) {
+		return
+	}
+	c.Faults.Add(err)
+}
+
+// degrade translates a cell failure into the suite's policy: under
+// FaultContinue the error becomes nil and the cell stays a gap; under
+// FaultFail — and always for suite cancellation — it propagates and aborts
+// the suite.
+func (c Config) degrade(err error) error {
+	if err == nil {
+		return nil
+	}
+	if c.OnFault != FaultContinue || isCancellation(err) {
+		return err
+	}
+	return nil
+}
+
+// speedup is stats.Speedup for supervised matrices: a failed (zero-cycle)
+// cell on either side propagates as a NaN gap instead of a zero that would
+// skew means.
+func speedup(baseCycles, configCycles uint64) float64 {
+	if baseCycles == 0 || configCycles == 0 {
+		return nan
+	}
+	return float64(baseCycles) / float64(configCycles)
 }

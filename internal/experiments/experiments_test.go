@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -268,7 +269,8 @@ func TestTable4Shape(t *testing.T) {
 }
 
 func TestForEachPropagatesError(t *testing.T) {
-	err := forEach(2, 5, func(i int) error {
+	cfg := Config{Parallel: 2}
+	err := cfg.forEach(5, func(ctx context.Context, i int) error {
 		if i == 3 {
 			return errTest
 		}
@@ -284,7 +286,8 @@ func TestForEachPropagatesError(t *testing.T) {
 // burning the rest of the budget.
 func TestForEachFailsFast(t *testing.T) {
 	var calls atomic.Int64
-	err := forEach(1, 100, func(i int) error {
+	cfg := Config{Parallel: 1}
+	err := cfg.forEach(100, func(ctx context.Context, i int) error {
 		calls.Add(1)
 		return errTest
 	})

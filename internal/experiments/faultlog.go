@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// FaultLog collects the cell failures a supervised suite survived, so the
+// caller (svfexp, tests) can report what degraded even when every
+// experiment "succeeded" under FaultContinue. It is safe for concurrent
+// use; suite cancellation is never recorded (see Config.record).
+type FaultLog struct {
+	mu     sync.Mutex
+	faults []error
+}
+
+// NewFaultLog returns an empty log.
+func NewFaultLog() *FaultLog { return &FaultLog{} }
+
+// Add records one failure. Nil errors are ignored.
+func (l *FaultLog) Add(err error) {
+	if l == nil || err == nil {
+		return
+	}
+	l.mu.Lock()
+	l.faults = append(l.faults, err)
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded failures.
+func (l *FaultLog) Len() int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.faults)
+}
+
+// All returns a snapshot of the recorded failures in arrival order.
+func (l *FaultLog) All() []error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]error, len(l.faults))
+	copy(out, l.faults)
+	return out
+}
+
+// Summary renders the multi-line fault report svfexp prints after a
+// degraded suite: a headline count, then one line per fault. Empty when
+// nothing failed.
+func (l *FaultLog) Summary() string {
+	faults := l.All()
+	if len(faults) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d simulation fault(s):\n", len(faults))
+	for i, err := range faults {
+		fmt.Fprintf(&b, "  [%d] %v\n", i+1, err)
+	}
+	return b.String()
+}

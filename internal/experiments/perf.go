@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"svf/internal/pipeline"
 	"svf/internal/sim"
 	"svf/internal/stats"
@@ -54,21 +56,24 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 		}
 	}
 	sp := make([][4]float64, len(cfg.Benchmarks))
-	err := forEach(cfg.Parallel, len(jobs), func(j int) error {
+	for b := range sp {
+		sp[b] = [4]float64{nan, nan, nan, nan}
+	}
+	err := cfg.forEach(len(jobs), func(ctx context.Context, j int) error {
 		b, w := jobs[j].bench, jobs[j].width
 		prof := cfg.Benchmarks[b]
-		base, err := cfg.Cache.Run(prof, sim.Options{
+		base, err := cfg.run(ctx, prof, sim.Options{
 			Machine: widths[w].mc, Predictor: widths[w].pred, MaxInsts: cfg.MaxInsts,
 		})
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
-		svf, err := cfg.Cache.Run(prof, sim.Options{
+		svf, err := cfg.run(ctx, prof, sim.Options{
 			Machine: widths[w].mc, Predictor: widths[w].pred, MaxInsts: cfg.MaxInsts,
 			Policy: pipeline.PolicySVF, SVFInfinite: true, StackPorts: 0,
 		})
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
 		sp[b][w] = stats.Speedup(base.Cycles(), svf.Cycles())
 		return nil
@@ -87,7 +92,7 @@ func Fig5(cfg Config) (*Fig5Result, error) {
 		}
 	}
 	res.Mean4, res.Mean8, res.Mean16, res.MeanGshare =
-		stats.Mean(m[0]), stats.Mean(m[1]), stats.Mean(m[2]), stats.Mean(m[3])
+		stats.MeanValid(m[0]), stats.MeanValid(m[1]), stats.MeanValid(m[2]), stats.MeanValid(m[3])
 	return res, nil
 }
 
@@ -141,13 +146,13 @@ func Fig6(cfg Config) (*Fig6Result, error) {
 		row := Fig6Row{Bench: prof.ID()}
 		vals := []*float64{&row.L1x2, &row.NoAddrCalc, &row.SVF1, &row.SVF2, &row.SVF16}
 		for k := 0; k < 5; k++ {
-			*vals[k] = stats.Speedup(base, cycles[b][k+1])
+			*vals[k] = speedup(base, cycles[b][k+1])
 			acc[k] = append(acc[k], *vals[k])
 		}
 		res.Rows[b] = row
 	}
 	res.MeanL1x2, res.MeanNoAddr, res.Mean1, res.Mean2, res.Mean16P =
-		stats.Mean(acc[0]), stats.Mean(acc[1]), stats.Mean(acc[2]), stats.Mean(acc[3]), stats.Mean(acc[4])
+		stats.MeanValid(acc[0]), stats.MeanValid(acc[1]), stats.MeanValid(acc[2]), stats.MeanValid(acc[3]), stats.MeanValid(acc[4])
 	return res, nil
 }
 
@@ -162,7 +167,9 @@ func (r *Fig6Result) Table() *stats.Table {
 	return t
 }
 
-// runMatrix runs every benchmark × spec pair and returns cycles[bench][spec].
+// runMatrix runs every benchmark × spec pair and returns
+// cycles[bench][spec]. A failed cell (under FaultContinue) stays zero;
+// speedup() turns those into NaN gaps downstream.
 func runMatrix(cfg Config, specs []runSpec) ([][]uint64, error) {
 	cycles := make([][]uint64, len(cfg.Benchmarks))
 	for i := range cycles {
@@ -175,13 +182,13 @@ func runMatrix(cfg Config, specs []runSpec) ([][]uint64, error) {
 			jobs = append(jobs, job{b, s})
 		}
 	}
-	err := forEach(cfg.Parallel, len(jobs), func(j int) error {
+	err := cfg.forEach(len(jobs), func(ctx context.Context, j int) error {
 		b, s := jobs[j].b, jobs[j].s
 		opt := specs[s].opt
 		opt.MaxInsts = cfg.MaxInsts
-		r, err := cfg.Cache.Run(cfg.Benchmarks[b], opt)
+		r, err := cfg.run(ctx, cfg.Benchmarks[b], opt)
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
 		cycles[b][s] = r.Cycles()
 		return nil
@@ -238,13 +245,13 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 		row := Fig7Row{Bench: prof.ID()}
 		vals := []*float64{&row.Base4, &row.SC22, &row.SVF21, &row.SVF22, &row.SVF216, &row.NoSquash22}
 		for k := 0; k < 6; k++ {
-			*vals[k] = stats.Speedup(base, cycles[b][k+1])
+			*vals[k] = speedup(base, cycles[b][k+1])
 			acc[k] = append(acc[k], *vals[k])
 		}
 		res.Rows[b] = row
 	}
 	res.MeanBase4, res.MeanSC22, res.MeanSVF21, res.MeanSVF22, res.MeanSVF216, res.MeanNoSquash =
-		stats.Mean(acc[0]), stats.Mean(acc[1]), stats.Mean(acc[2]), stats.Mean(acc[3]), stats.Mean(acc[4]), stats.Mean(acc[5])
+		stats.MeanValid(acc[0]), stats.MeanValid(acc[1]), stats.MeanValid(acc[2]), stats.MeanValid(acc[3]), stats.MeanValid(acc[4]), stats.MeanValid(acc[5])
 	return res, nil
 }
 
@@ -280,14 +287,20 @@ type Fig8Result struct {
 func Fig8(cfg Config) (*Fig8Result, error) {
 	cfg.fillDefaults()
 	res := &Fig8Result{Rows: make([]Fig8Row, len(cfg.Benchmarks))}
-	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
+	for b, prof := range cfg.Benchmarks {
+		res.Rows[b] = Fig8Row{
+			Bench:     prof.ID(),
+			FastLoads: nan, FastStores: nan, ReroutedLoads: nan, ReroutedStores: nan,
+		}
+	}
+	err := cfg.forEach(len(cfg.Benchmarks), func(ctx context.Context, b int) error {
 		prof := cfg.Benchmarks[b]
-		r, err := cfg.Cache.Run(prof, sim.Options{
+		r, err := cfg.run(ctx, prof, sim.Options{
 			Machine: pipeline.SixteenWide(), DL1Ports: 2,
 			Policy: pipeline.PolicySVF, StackPorts: 2, MaxInsts: cfg.MaxInsts,
 		})
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
 		st := r.SVF
 		total := float64(st.MorphedRefs() + st.ReroutedRefs())
@@ -310,7 +323,7 @@ func Fig8(cfg Config) (*Fig8Result, error) {
 	for _, row := range res.Rows {
 		morphed = append(morphed, row.Morphed())
 	}
-	res.MeanMorphed = stats.Mean(morphed)
+	res.MeanMorphed = stats.MeanValid(morphed)
 	return res, nil
 }
 
@@ -361,10 +374,10 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 	for b, prof := range cfg.Benchmarks {
 		row := Fig9Row{
 			Bench: prof.ID(),
-			SVF11: stats.Speedup(cycles[b][0], cycles[b][1]),
-			SVF12: stats.Speedup(cycles[b][0], cycles[b][2]),
-			SVF21: stats.Speedup(cycles[b][3], cycles[b][4]),
-			SVF22: stats.Speedup(cycles[b][3], cycles[b][5]),
+			SVF11: speedup(cycles[b][0], cycles[b][1]),
+			SVF12: speedup(cycles[b][0], cycles[b][2]),
+			SVF21: speedup(cycles[b][3], cycles[b][4]),
+			SVF22: speedup(cycles[b][3], cycles[b][5]),
 		}
 		res.Rows[b] = row
 		acc[0] = append(acc[0], row.SVF11)
@@ -373,7 +386,7 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 		acc[3] = append(acc[3], row.SVF22)
 	}
 	res.Mean11, res.Mean12, res.Mean21, res.Mean22 =
-		stats.Mean(acc[0]), stats.Mean(acc[1]), stats.Mean(acc[2]), stats.Mean(acc[3])
+		stats.MeanValid(acc[0]), stats.MeanValid(acc[1]), stats.MeanValid(acc[2]), stats.MeanValid(acc[3])
 	return res, nil
 }
 

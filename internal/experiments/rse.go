@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"svf/internal/pipeline"
 	"svf/internal/sim"
 	"svf/internal/stats"
@@ -17,6 +19,8 @@ type RSERow struct {
 	SVFQW, SCQW, RSEQW uint64
 	// Context-switch flush traffic in bytes per switch.
 	SVFCtxBytes, SCCtxBytes, RSECtxBytes uint64
+	// Failed marks a row whose runs faulted (FaultContinue).
+	Failed bool
 }
 
 // RSEResult is the three-way structure comparison.
@@ -30,11 +34,18 @@ type RSEResult struct {
 func RSE(cfg Config) (*RSEResult, error) {
 	cfg.fillDefaults()
 	res := &RSEResult{Rows: make([]RSERow, len(cfg.Benchmarks))}
-	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
+	for b, prof := range cfg.Benchmarks {
+		res.Rows[b] = RSERow{
+			Bench:      prof.ID(),
+			SVFSpeedup: nan, SCSpeedup: nan, RSESpeedup: nan,
+			Failed: true,
+		}
+	}
+	err := cfg.forEach(len(cfg.Benchmarks), func(ctx context.Context, b int) error {
 		prof := cfg.Benchmarks[b]
-		base, err := cfg.Cache.Run(prof, sim.Options{MaxInsts: cfg.MaxInsts})
+		base, err := cfg.run(ctx, prof, sim.Options{MaxInsts: cfg.MaxInsts})
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
 		row := RSERow{Bench: prof.ID()}
 		for _, c := range []struct {
@@ -47,17 +58,17 @@ func RSE(cfg Config) (*RSEResult, error) {
 			{pipeline.PolicyStackCache, &row.SCSpeedup, &row.SCQW, &row.SCCtxBytes},
 			{pipeline.PolicyRSE, &row.RSESpeedup, &row.RSEQW, &row.RSECtxBytes},
 		} {
-			r, err := cfg.Cache.Run(prof, sim.Options{Policy: c.policy, StackPorts: 2, MaxInsts: cfg.MaxInsts})
+			r, err := cfg.run(ctx, prof, sim.Options{Policy: c.policy, StackPorts: 2, MaxInsts: cfg.MaxInsts})
 			if err != nil {
-				return err
+				return cfg.degrade(err)
 			}
 			*c.speedup = stats.Speedup(base.Cycles(), r.Cycles())
-			in, out, ctx, err := cfg.Cache.Traffic(prof, c.policy, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
+			in, out, cb, err := cfg.traffic(ctx, prof, c.policy, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
 			if err != nil {
-				return err
+				return cfg.degrade(err)
 			}
 			*c.qw = in + out
-			*c.ctxBytes = ctx
+			*c.ctxBytes = cb
 		}
 		res.Rows[b] = row
 		return nil
@@ -71,7 +82,7 @@ func RSE(cfg Config) (*RSEResult, error) {
 		c = append(c, row.SCSpeedup)
 		r = append(r, row.RSESpeedup)
 	}
-	res.MeanSVF, res.MeanSC, res.MeanRSE = stats.Mean(s), stats.Mean(c), stats.Mean(r)
+	res.MeanSVF, res.MeanSC, res.MeanRSE = stats.MeanValid(s), stats.MeanValid(c), stats.MeanValid(r)
 	return res, nil
 }
 
@@ -83,6 +94,10 @@ func (r *RSEResult) Table() *stats.Table {
 		"svf B/ctx", "stack$ B/ctx", "rse B/ctx")
 	pct := stats.PercentImprovement
 	for _, row := range r.Rows {
+		if row.Failed {
+			t.AddRow(row.Bench, "n/a", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a", "n/a")
+			continue
+		}
 		t.AddRow(row.Bench,
 			pct(row.SVFSpeedup), pct(row.SCSpeedup), pct(row.RSESpeedup),
 			row.SVFQW, row.SCQW, row.RSEQW,

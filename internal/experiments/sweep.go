@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"svf/internal/pipeline"
 	"svf/internal/sim"
@@ -42,14 +44,15 @@ func Sweep(cfg Config) (*SweepResult, error) {
 	cfg.fillDefaults()
 	res := &SweepResult{Sizes: SweepSizes, Ports: SweepPorts}
 
-	// Baselines per benchmark.
+	// Baselines per benchmark; a failed baseline (zero) gaps that
+	// benchmark's speedups via speedup().
 	base := make([]uint64, len(cfg.Benchmarks))
-	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
-		r, err := cfg.Cache.Run(cfg.Benchmarks[b], sim.Options{
+	err := cfg.forEach(len(cfg.Benchmarks), func(ctx context.Context, b int) error {
+		r, err := cfg.run(ctx, cfg.Benchmarks[b], sim.Options{
 			Machine: pipeline.SixteenWide(), DL1Ports: 2, MaxInsts: cfg.MaxInsts,
 		})
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
 		base[b] = r.Cycles()
 		return nil
@@ -72,19 +75,23 @@ func Sweep(cfg Config) (*SweepResult, error) {
 	for i := range speedups {
 		speedups[i] = make([]float64, len(cfg.Benchmarks))
 		traffic[i] = make([]float64, len(cfg.Benchmarks))
+		for b := range speedups[i] {
+			speedups[i][b] = nan
+			traffic[i][b] = nan
+		}
 	}
-	err = forEach(cfg.Parallel, len(jobs), func(j int) error {
+	err = cfg.forEach(len(jobs), func(ctx context.Context, j int) error {
 		jb := jobs[j]
-		r, err := cfg.Cache.Run(cfg.Benchmarks[jb.b], sim.Options{
+		r, err := cfg.run(ctx, cfg.Benchmarks[jb.b], sim.Options{
 			Machine: pipeline.SixteenWide(), DL1Ports: 2,
 			Policy: pipeline.PolicySVF, StackSizeBytes: SweepSizes[jb.si], StackPorts: SweepPorts[jb.pi],
 			MaxInsts: cfg.MaxInsts,
 		})
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
 		k := jb.si*len(SweepPorts) + jb.pi
-		speedups[k][jb.b] = stats.Speedup(base[jb.b], r.Cycles())
+		speedups[k][jb.b] = speedup(base[jb.b], r.Cycles())
 		traffic[k][jb.b] = float64(r.SVFQWIn + r.SVFQWOut)
 		return nil
 	})
@@ -97,8 +104,8 @@ func Sweep(cfg Config) (*SweepResult, error) {
 			res.Points = append(res.Points, SweepPoint{
 				SizeBytes:     size,
 				Ports:         ports,
-				MeanSpeedup:   stats.Mean(speedups[k]),
-				MeanTrafficQW: stats.Mean(traffic[k]),
+				MeanSpeedup:   stats.MeanValid(speedups[k]),
+				MeanTrafficQW: stats.MeanValid(traffic[k]),
 			})
 		}
 	}
@@ -128,12 +135,20 @@ func (r *SweepResult) Table() *stats.Table {
 		var twoPortTraffic float64
 		for _, ports := range r.Ports {
 			pt := r.Point(size, ports)
-			row = append(row, fmt.Sprintf("%+.1f%%", stats.PercentImprovement(pt.MeanSpeedup)))
+			if math.IsNaN(pt.MeanSpeedup) {
+				row = append(row, "n/a")
+			} else {
+				row = append(row, fmt.Sprintf("%+.1f%%", stats.PercentImprovement(pt.MeanSpeedup)))
+			}
 			if ports == 2 {
 				twoPortTraffic = pt.MeanTrafficQW
 			}
 		}
-		row = append(row, fmt.Sprintf("%.0f", twoPortTraffic))
+		if math.IsNaN(twoPortTraffic) {
+			row = append(row, "n/a")
+		} else {
+			row = append(row, fmt.Sprintf("%.0f", twoPortTraffic))
+		}
 		t.AddRow(row...)
 	}
 	return t

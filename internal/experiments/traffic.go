@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"svf/internal/pipeline"
 	"svf/internal/stats"
 	"svf/internal/synth"
@@ -12,6 +14,9 @@ type Table3Row struct {
 	Bench string
 	// Per size (2KB, 4KB, 8KB): stack cache in/out and SVF in/out.
 	SCIn, SCOut, SVFIn, SVFOut [3]uint64
+	// Failed marks size columns whose runs faulted (FaultContinue);
+	// renderers show those cells as gaps.
+	Failed [3]bool
 }
 
 // Table3Sizes are the structure capacities compared.
@@ -35,6 +40,9 @@ func Table3(cfg Config) (*Table3Result, error) {
 		benches = synth.BenchmarkInputs()
 	}
 	res := &Table3Result{Rows: make([]Table3Row, len(benches)), Insts: cfg.TrafficInsts}
+	for b := range benches {
+		res.Rows[b].Bench = benches[b].ID()
+	}
 	type job struct{ b, s int }
 	var jobs []job
 	for b := range benches {
@@ -42,19 +50,20 @@ func Table3(cfg Config) (*Table3Result, error) {
 			jobs = append(jobs, job{b, s})
 		}
 	}
-	err := forEach(cfg.Parallel, len(jobs), func(j int) error {
+	err := cfg.forEach(len(jobs), func(ctx context.Context, j int) error {
 		b, s := jobs[j].b, jobs[j].s
 		size := Table3Sizes[s]
-		scIn, scOut, _, err := cfg.Cache.Traffic(benches[b], pipeline.PolicyStackCache, size, cfg.TrafficInsts, 0)
-		if err != nil {
-			return err
-		}
-		svfIn, svfOut, _, err := cfg.Cache.Traffic(benches[b], pipeline.PolicySVF, size, cfg.TrafficInsts, 0)
-		if err != nil {
-			return err
-		}
 		row := &res.Rows[b]
-		row.Bench = benches[b].ID()
+		scIn, scOut, _, err := cfg.traffic(ctx, benches[b], pipeline.PolicyStackCache, size, cfg.TrafficInsts, 0)
+		if err != nil {
+			row.Failed[s] = true
+			return cfg.degrade(err)
+		}
+		svfIn, svfOut, _, err := cfg.traffic(ctx, benches[b], pipeline.PolicySVF, size, cfg.TrafficInsts, 0)
+		if err != nil {
+			row.Failed[s] = true
+			return cfg.degrade(err)
+		}
 		row.SCIn[s], row.SCOut[s] = scIn, scOut
 		row.SVFIn[s], row.SVFOut[s] = svfIn, svfOut
 		return nil
@@ -72,10 +81,15 @@ func (r *Table3Result) Table() *stats.Table {
 		"4K sc-in", "4K svf-in", "4K sc-out", "4K svf-out",
 		"8K sc-in", "8K svf-in", "8K sc-out", "8K svf-out")
 	for _, row := range r.Rows {
-		t.AddRow(row.Bench,
-			row.SCIn[0], row.SVFIn[0], row.SCOut[0], row.SVFOut[0],
-			row.SCIn[1], row.SVFIn[1], row.SCOut[1], row.SVFOut[1],
-			row.SCIn[2], row.SVFIn[2], row.SCOut[2], row.SVFOut[2])
+		cells := []any{row.Bench}
+		for s := 0; s < 3; s++ {
+			if row.Failed[s] {
+				cells = append(cells, "n/a", "n/a", "n/a", "n/a")
+				continue
+			}
+			cells = append(cells, row.SCIn[s], row.SVFIn[s], row.SCOut[s], row.SVFOut[s])
+		}
+		t.AddRow(cells...)
 	}
 	return t
 }
@@ -87,10 +101,16 @@ type Table4Row struct {
 	// StackCacheBytes and SVFBytes are average bytes written back per
 	// context switch (period 400 000 instructions).
 	StackCacheBytes, SVFBytes uint64
+	// Failed marks a row whose runs faulted (FaultContinue).
+	Failed bool
 }
 
-// Ratio returns stack-cache bytes over SVF bytes (paper: 3-20×).
+// Ratio returns stack-cache bytes over SVF bytes (paper: 3-20×); NaN for a
+// failed row.
 func (r Table4Row) Ratio() float64 {
+	if r.Failed {
+		return nan
+	}
 	return stats.Ratio(float64(r.StackCacheBytes), float64(r.SVFBytes))
 }
 
@@ -106,15 +126,16 @@ const CtxSwitchPeriod = 400_000
 func Table4(cfg Config) (*Table4Result, error) {
 	cfg.fillDefaults()
 	res := &Table4Result{Rows: make([]Table4Row, len(cfg.Benchmarks))}
-	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
+	err := cfg.forEach(len(cfg.Benchmarks), func(ctx context.Context, b int) error {
 		prof := cfg.Benchmarks[b]
-		_, _, scBytes, err := cfg.Cache.Traffic(prof, pipeline.PolicyStackCache, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
+		res.Rows[b] = Table4Row{Bench: prof.ID(), Failed: true}
+		_, _, scBytes, err := cfg.traffic(ctx, prof, pipeline.PolicyStackCache, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
-		_, _, svfBytes, err := cfg.Cache.Traffic(prof, pipeline.PolicySVF, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
+		_, _, svfBytes, err := cfg.traffic(ctx, prof, pipeline.PolicySVF, 8<<10, cfg.TrafficInsts, CtxSwitchPeriod)
 		if err != nil {
-			return err
+			return cfg.degrade(err)
 		}
 		res.Rows[b] = Table4Row{Bench: prof.ID(), StackCacheBytes: scBytes, SVFBytes: svfBytes}
 		return nil
@@ -129,6 +150,10 @@ func Table4(cfg Config) (*Table4Result, error) {
 func (r *Table4Result) Table() *stats.Table {
 	t := stats.NewTable("benchmark", "stack cache (B/switch)", "SVF (B/switch)", "ratio")
 	for _, row := range r.Rows {
+		if row.Failed {
+			t.AddRow(row.Bench, "n/a", "n/a", "n/a")
+			continue
+		}
 		t.AddRow(row.Bench, row.StackCacheBytes, row.SVFBytes, row.Ratio())
 	}
 	return t

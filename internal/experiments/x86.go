@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"svf/internal/pipeline"
 	"svf/internal/sim"
 	"svf/internal/stats"
@@ -32,7 +34,10 @@ type X86Result struct {
 func X86(cfg Config) (*X86Result, error) {
 	cfg.fillDefaults()
 	res := &X86Result{Rows: make([]X86Row, len(cfg.Benchmarks))}
-	err := forEach(cfg.Parallel, len(cfg.Benchmarks), func(b int) error {
+	for b, prof := range cfg.Benchmarks {
+		res.Rows[b] = X86Row{Bench: prof.ID(), AlphaSpeedup: nan, X86Speedup: nan}
+	}
+	err := cfg.forEach(len(cfg.Benchmarks), func(ctx context.Context, b int) error {
 		alpha := cfg.Benchmarks[b]
 		x86 := synth.X86Variant(alpha)
 		row := X86Row{Bench: alpha.ID()}
@@ -45,15 +50,15 @@ func X86(cfg Config) (*X86Result, error) {
 			{alpha, &row.AlphaSpeedup, &row.AlphaFillQW, false},
 			{x86, &row.X86Speedup, &row.X86FillQW, true},
 		} {
-			base, err := cfg.Cache.Run(fl.prof, sim.Options{MaxInsts: cfg.MaxInsts})
+			base, err := cfg.run(ctx, fl.prof, sim.Options{MaxInsts: cfg.MaxInsts})
 			if err != nil {
-				return err
+				return cfg.degrade(err)
 			}
-			svf, err := cfg.Cache.Run(fl.prof, sim.Options{
+			svf, err := cfg.run(ctx, fl.prof, sim.Options{
 				Policy: pipeline.PolicySVF, StackPorts: 2, MaxInsts: cfg.MaxInsts,
 			})
 			if err != nil {
-				return err
+				return cfg.degrade(err)
 			}
 			*fl.speedup = stats.Speedup(base.Cycles(), svf.Cycles())
 			*fl.fill = svf.SVFQWIn
@@ -72,7 +77,7 @@ func X86(cfg Config) (*X86Result, error) {
 		a = append(a, row.AlphaSpeedup)
 		x = append(x, row.X86Speedup)
 	}
-	res.MeanAlpha, res.MeanX86 = stats.Mean(a), stats.Mean(x)
+	res.MeanAlpha, res.MeanX86 = stats.MeanValid(a), stats.MeanValid(x)
 	return res, nil
 }
 

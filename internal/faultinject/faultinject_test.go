@@ -1,0 +1,136 @@
+package faultinject
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"svf/internal/isa"
+	"svf/internal/trace"
+)
+
+// sampleInsts builds a small deterministic instruction slice.
+func sampleInsts(n int) []isa.Inst {
+	insts := make([]isa.Inst, n)
+	for i := range insts {
+		insts[i] = isa.Inst{
+			PC:   0x1000 + uint64(i*4),
+			Kind: isa.KindALU,
+			Dst:  uint8(1 + i%8),
+			Src1: isa.RegZero,
+		}
+	}
+	return insts
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	p, err := Parse("bench=176.gcc,panic=50000,stall=123,eof=300,corrupt=9,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{Seed: 7, Bench: "176.gcc", PanicCycle: 50000, StallCycle: 123, EOFAfter: 300, CorruptEvery: 9}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	again, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(again, p) {
+		t.Errorf("String round trip changed the plan: %+v vs %+v", again, p)
+	}
+}
+
+func TestParseEmptySpecIsInactive(t *testing.T) {
+	for _, spec := range []string{"", "   "} {
+		p, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", spec, err)
+		}
+		if p.Active() {
+			t.Errorf("Parse(%q) produced an active plan: %+v", spec, p)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, spec := range []string{"panic", "panic=x", "frob=1", "panic=-3"} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) should fail", spec)
+		}
+	}
+}
+
+func TestActiveAndMatches(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.Active() || nilPlan.Matches("anything") {
+		t.Error("nil plan must be inert")
+	}
+	if (&Plan{Bench: "gcc"}).Active() {
+		t.Error("a plan with no fault fields is inactive")
+	}
+	p := &Plan{Bench: "crafty", PanicCycle: 1}
+	if !p.Active() || !p.Matches("186.crafty.ref") || p.Matches("256.bzip2.graphic") {
+		t.Errorf("bench matching wrong for %+v", p)
+	}
+	if !(&Plan{EOFAfter: 1}).Matches("anything") {
+		t.Error("empty Bench must match every workload")
+	}
+}
+
+func TestWrapStreamEOFTruncates(t *testing.T) {
+	p := &Plan{EOFAfter: 7}
+	got := trace.Collect(p.WrapStream(trace.NewSliceStream(sampleInsts(100))), 0)
+	if len(got) != 7 {
+		t.Errorf("EOFAfter=7 yielded %d instructions", len(got))
+	}
+}
+
+func TestWrapStreamInertPlanReturnsSameStream(t *testing.T) {
+	s := trace.NewSliceStream(sampleInsts(3))
+	if (&Plan{PanicCycle: 99}).WrapStream(s) != trace.Stream(s) {
+		t.Error("a plan without stream faults must not wrap the stream")
+	}
+	var nilPlan *Plan
+	if nilPlan.WrapStream(s) != trace.Stream(s) {
+		t.Error("nil plan must not wrap the stream")
+	}
+}
+
+// Determinism is the package's contract: the same seed over the same stream
+// must inject byte-identical faults on every execution.
+func TestWrapStreamCorruptionIsDeterministic(t *testing.T) {
+	base := sampleInsts(60)
+	collect := func(seed int64) []isa.Inst {
+		p := &Plan{Seed: seed, CorruptEvery: 3}
+		return trace.Collect(p.WrapStream(trace.NewSliceStream(append([]isa.Inst(nil), base...))), 0)
+	}
+	a, b := collect(42), collect(42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	corrupted := 0
+	for i := range a {
+		if !reflect.DeepEqual(a[i], base[i]) {
+			corrupted++
+		}
+	}
+	if corrupted != 20 {
+		t.Errorf("corrupted %d records, want every 3rd of 60 (20)", corrupted)
+	}
+	if reflect.DeepEqual(collect(43), a) {
+		t.Error("a different seed should corrupt differently")
+	}
+}
+
+func TestCorruptAlwaysChangesTheRecord(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		in := sampleInsts(1)[0]
+		orig := in
+		Corrupt(rng, &in)
+		if reflect.DeepEqual(in, orig) {
+			t.Fatalf("iteration %d: Corrupt was a no-op", i)
+		}
+	}
+}

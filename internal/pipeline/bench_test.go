@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"svf/internal/bpred"
@@ -42,7 +43,7 @@ func benchPipeline(b *testing.B, mkEnv func() Env) {
 		}
 		stream.Reset()
 		b.StartTimer()
-		st, err := p.Run(stream, benchRawInsts)
+		st, err := p.Run(context.Background(), stream, benchRawInsts)
 		if err != nil {
 			b.Fatal(err)
 		}

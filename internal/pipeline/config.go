@@ -17,6 +17,7 @@ import (
 
 	"svf/internal/cache"
 	"svf/internal/core"
+	"svf/internal/faultinject"
 	"svf/internal/regions"
 	"svf/internal/rse"
 	"svf/internal/stackcache"
@@ -193,6 +194,10 @@ type Env struct {
 	// structure flush) every that many committed instructions (§5.3.3
 	// uses 400000).
 	CtxSwitchPeriod uint64
+	// Inject, when non-nil and active, applies the deterministic fault
+	// plan's cycle-level faults (forced panic, stalled completions) to
+	// this run. Clean runs leave it nil.
+	Inject *faultinject.Plan
 }
 
 // Predictor is the branch-direction interface consumed by the pipeline

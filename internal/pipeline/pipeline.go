@@ -1,9 +1,12 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
+	"strings"
 
+	"svf/internal/faultinject"
 	"svf/internal/isa"
 	"svf/internal/trace"
 )
@@ -180,6 +183,14 @@ type Pipeline struct {
 	stats   Stats
 	drained bool
 
+	// fatal latches the first internal-consistency failure (e.g. a $sp
+	// shadow disagreement). Run returns it at the top of the next
+	// iteration instead of the stage panicking mid-cycle.
+	fatal error
+	// inject is the active fault plan, nil for clean runs so the hot loop
+	// pays a single nil check per cycle.
+	inject *faultinject.Plan
+
 	// Event-driven scheduler state (see scheduler.go).
 	//
 	// readyBits is a bitmap over RUU slots of dispatched entries whose
@@ -295,11 +306,17 @@ func New(env Env) (*Pipeline, error) {
 		p.nextCtxSwitch = env.CtxSwitchPeriod
 	}
 	p.interlock = dep{idx: noDep}
+	if env.Inject.Active() {
+		p.inject = env.Inject
+	}
 	return p, nil
 }
 
 // Stats returns the counters so far.
 func (p *Pipeline) Stats() Stats { return p.stats }
+
+// Cycle returns the current clock, for fault diagnostics.
+func (p *Pipeline) Cycle() uint64 { return p.cycle }
 
 // deadlockWatchdogCycles is the commit-progress watchdog horizon: if no
 // instruction commits for this many consecutive cycles, Run aborts with a
@@ -310,17 +327,52 @@ func (p *Pipeline) Stats() Stats { return p.stats }
 // wakeup, a dependence cycle) rather than a slow workload.
 const deadlockWatchdogCycles = 200_000
 
+// ctxCheckInterval is how many Run-loop iterations pass between context
+// polls. A power of two so the check is a mask; small enough that an
+// already-cancelled context returns within a bounded (and short) number of
+// cycles, large enough that the atomic load in ctx.Err() stays invisible
+// next to a cycle's real work.
+const ctxCheckInterval = 4096
+
 // Run drives the pipeline until maxInsts instructions commit or the stream
-// ends, returning the final statistics.
-func (p *Pipeline) Run(s trace.Stream, maxInsts uint64) (Stats, error) {
+// ends, returning the final statistics. The context is polled every
+// ctxCheckInterval loop iterations (the first poll happens before any
+// cycle executes), so cancellation and deadlines stop in-flight runs
+// promptly; the returned error is then ctx.Err(). Context polling never
+// alters the counters of a run that completes.
+func (p *Pipeline) Run(ctx context.Context, s trace.Stream, maxInsts uint64) (Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	lastCommit := uint64(0)
 	lastCommitted := uint64(0)
+	check := uint64(0)
 	for p.stats.Committed < maxInsts {
+		if check&(ctxCheckInterval-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				p.stats.Cycles = p.cycle
+				return p.stats, err
+			}
+		}
+		check++
+		if p.fatal != nil {
+			p.stats.Cycles = p.cycle
+			return p.stats, p.fatal
+		}
 		if p.drained && p.ruuCount == 0 && p.ifqCount == 0 {
 			break
 		}
 		p.cycle++
-		p.tickEvents()
+		stalled := false
+		if p.inject != nil {
+			if p.inject.PanicCycle != 0 && p.cycle >= p.inject.PanicCycle {
+				panic(fmt.Sprintf("faultinject: forced panic at cycle %d (plan %s)", p.cycle, p.inject))
+			}
+			stalled = p.inject.StallCycle != 0 && p.cycle > p.inject.StallCycle
+		}
+		if !stalled {
+			p.tickEvents()
+		}
 		p.commit()
 		p.issue()
 		p.dispatch()
@@ -331,24 +383,67 @@ func (p *Pipeline) Run(s trace.Stream, maxInsts uint64) (Stats, error) {
 		} else if p.cycle-lastCommit > deadlockWatchdogCycles {
 			return p.stats, p.deadlockError(lastCommit)
 		}
-		p.fastForward(maxInsts, lastCommit+deadlockWatchdogCycles+1)
+		if !stalled {
+			// A stalled machine must spin cycle by cycle into the
+			// watchdog; fastForward's reasoning assumes events fire.
+			p.fastForward(maxInsts, lastCommit+deadlockWatchdogCycles+1)
+		}
 	}
 	p.stats.Cycles = p.cycle
 	return p.stats, nil
 }
 
-// deadlockError describes a tripped watchdog, including the head RUU
-// entry's scheduling state — the instruction the whole machine is stuck
-// behind — so a real deadlock is debuggable from the error alone.
+// DeadlockError is the tripped commit-progress watchdog: no instruction
+// committed for SinceCommit cycles. State carries the bounded pipeline
+// dump so a real deadlock is debuggable from the error alone.
+type DeadlockError struct {
+	// Cycle is the clock when the watchdog fired; Committed the
+	// instructions retired by then.
+	Cycle, Committed uint64
+	// SinceCommit is how long the machine made no progress.
+	SinceCommit uint64
+	// State is a bounded pipeline-state dump (StateDump).
+	State string
+}
+
+// Error implements error.
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("pipeline: no commit for %d cycles at cycle %d (deadlock?); %s",
+		e.SinceCommit, e.Cycle, e.State)
+}
+
+// deadlockError builds the watchdog's typed error.
 func (p *Pipeline) deadlockError(lastCommit uint64) error {
-	base := fmt.Sprintf("pipeline: no commit for %d cycles at cycle %d (deadlock?)", p.cycle-lastCommit, p.cycle)
-	if p.ruuCount == 0 {
-		return fmt.Errorf("%s; RUU empty, IFQ %d, fetchBlocked=%v fetchResumeAt=%d interlock=%v",
-			base, p.ifqCount, p.fetchBlocked, p.fetchResumeAt, p.interlock.idx != noDep)
+	return &DeadlockError{
+		Cycle:       p.cycle,
+		Committed:   p.stats.Committed,
+		SinceCommit: p.cycle - lastCommit,
+		State:       p.StateDump(4),
 	}
-	e := &p.ruu[p.ruuHead]
-	return fmt.Errorf("%s; head RUU entry: pc=%#x kind=%s seq=%d state=%s pending=%d/%d deps, completeAt=%d, route=%d",
-		base, e.inst.PC, e.inst.Kind, e.seq, e.state, e.pending, e.ndeps, e.completeAt, e.route)
+}
+
+// StateDump renders a bounded snapshot of the machine's scheduling state:
+// occupancies, front-end stall reasons, and up to maxEntries RUU entries
+// from the head — the instructions the window is stuck behind. It is the
+// diagnostic attached to watchdog errors and contained faults; maxEntries
+// keeps it a few lines, never the whole window.
+func (p *Pipeline) StateDump(maxEntries int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycle=%d committed=%d RUU %d/%d LSQ %d/%d IFQ %d/%d ready=%d events=%d",
+		p.cycle, p.stats.Committed,
+		p.ruuCount, p.cfg.RUUSize, p.lsqCount, p.cfg.LSQSize, p.ifqCount, p.cfg.IFQSize,
+		p.readyCount, p.eventCount)
+	fmt.Fprintf(&b, " fetchBlocked=%v fetchResumeAt=%d interlock=%v drained=%v",
+		p.fetchBlocked, p.fetchResumeAt, p.interlock.idx != noDep, p.drained)
+	if p.decSPKnown {
+		fmt.Fprintf(&b, " decSP=%#x", p.decSP)
+	}
+	for i := 0; i < p.ruuCount && i < maxEntries; i++ {
+		e := &p.ruu[(p.ruuHead+i)&p.ruuMask]
+		fmt.Fprintf(&b, "; ruu+%d: pc=%#x kind=%s seq=%d state=%s pending=%d/%d completeAt=%d route=%d",
+			i, e.inst.PC, e.inst.Kind, e.seq, e.state, e.pending, e.ndeps, e.completeAt, e.route)
+	}
+	return b.String()
 }
 
 // done reports whether a dependency has produced its value by now.
@@ -681,7 +776,10 @@ func (p *Pipeline) dispatchSPAdjust(e *ruuEntry, idx int32) bool {
 		case PolicySVF:
 			p.env.Stack.SVF.NotifySPUpdate(oldSP, p.decSP)
 		case PolicyRSE:
-			p.env.Stack.RSE.NotifySPUpdate(oldSP, p.decSP)
+			if err := p.env.Stack.RSE.NotifySPUpdate(oldSP, p.decSP); err != nil {
+				p.fatal = fmt.Errorf("pipeline: at pc %#x: %w", inst.PC, err)
+				return true
+			}
 			if pen := p.env.Stack.RSE.TakePenalty(); pen > 0 {
 				// Overflow/underflow occupies the spill/fill engine;
 				// the front end stalls behind it.
@@ -700,8 +798,11 @@ func (p *Pipeline) dispatchSPAdjust(e *ruuEntry, idx int32) bool {
 }
 
 // anchorSP initialises the decode $sp shadow from an $sp-relative
-// reference's resolved address.
-func (p *Pipeline) anchorSP(inst *isa.Inst) {
+// reference's resolved address. A shadow that disagrees with the trace —
+// a corrupted stream or a tracking bug — is returned as an error rather
+// than panicking, so the failure is reportable even when the pipeline is
+// driven outside sim.Run's recover net.
+func (p *Pipeline) anchorSP(inst *isa.Inst) error {
 	sp := inst.Addr - uint64(int64(inst.Imm))
 	if !p.decSPKnown {
 		p.decSP = sp
@@ -710,20 +811,24 @@ func (p *Pipeline) anchorSP(inst *isa.Inst) {
 		case PolicySVF:
 			p.env.Stack.SVF.NotifySPUpdate(sp, sp)
 		case PolicyRSE:
-			p.env.Stack.RSE.NotifySPUpdate(sp, sp)
+			return p.env.Stack.RSE.NotifySPUpdate(sp, sp)
 		}
-		return
+		return nil
 	}
 	if p.decSP != sp {
-		panic(fmt.Sprintf("pipeline: $sp shadow %#x disagrees with trace (%#x at pc %#x)", p.decSP, sp, inst.PC))
+		return fmt.Errorf("pipeline: $sp shadow %#x disagrees with trace (%#x at pc %#x)", p.decSP, sp, inst.PC)
 	}
+	return nil
 }
 
 func (p *Pipeline) dispatchMem(e *ruuEntry, idx int32) bool {
 	inst := &e.inst
 	isStore := inst.Kind == isa.KindStore
 	if inst.SPRelative() {
-		p.anchorSP(inst)
+		if err := p.anchorSP(inst); err != nil {
+			p.fatal = err
+			return true
+		}
 	}
 	inStack := p.env.Layout.InStack(inst.Addr)
 

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"svf/internal/bpred"
@@ -20,7 +21,7 @@ func TestShortStreamTerminates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := p.Run(trace.NewSliceStream(insts), 1_000_000)
+	st, err := p.Run(context.Background(), trace.NewSliceStream(insts), 1_000_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestEmptyStream(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := p.Run(trace.NewSliceStream(nil), 100)
+	st, err := p.Run(context.Background(), trace.NewSliceStream(nil), 100)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func TestIFQBacklogBound(t *testing.T) {
 		t.Fatal(err)
 	}
 	stream := trace.NewSliceStream(insts)
-	if _, err := p.Run(stream, uint64(len(insts))); err != nil {
+	if _, err := p.Run(context.Background(), stream, uint64(len(insts))); err != nil {
 		t.Fatal(err)
 	}
 	st := p.Stats()

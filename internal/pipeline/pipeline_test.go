@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"testing"
 
 	"svf/internal/bpred"
@@ -45,7 +46,7 @@ func run(t *testing.T, env Env, insts []isa.Inst) Stats {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := p.Run(trace.NewSliceStream(insts), uint64(len(insts)))
+	st, err := p.Run(context.Background(), trace.NewSliceStream(insts), uint64(len(insts)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"svf/internal/isa"
+	"svf/internal/trace"
+)
+
+// An already-cancelled context must return before any cycle executes — the
+// first poll happens at the top of the run loop.
+func TestRunPreCancelledContext(t *testing.T) {
+	p, err := New(testEnv(t, tinyMachine(), PolicyNone, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	insts := svfTestTrace(100)
+	st, err := p.Run(ctx, trace.NewSliceStream(insts), uint64(len(insts)))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st.Cycles != 0 || st.Committed != 0 {
+		t.Errorf("cancelled-before-start run did work: %d cycles, %d committed", st.Cycles, st.Committed)
+	}
+}
+
+// A $sp shadow that disagrees with the trace must come back as an error —
+// never a panic — so the failure is reportable even when the pipeline is
+// driven outside sim.Run's recover net. The error latches: every later Run
+// call returns it rather than executing on a corrupt shadow.
+func TestSPShadowMismatchReturnsError(t *testing.T) {
+	sp := stackTop - 64
+	insts := []isa.Inst{
+		// Anchors the shadow at sp.
+		{PC: 0x1000, Kind: isa.KindStore, Src1: 1, Base: isa.RegSP, Imm: 8, Addr: sp + 8, Size: 8, Dst: isa.RegZero},
+		// Implies a different $sp — a corrupted record or tracking bug.
+		{PC: 0x1004, Kind: isa.KindLoad, Dst: 2, Base: isa.RegSP, Imm: 8, Addr: sp + 4096, Size: 8},
+	}
+	p, err := New(testEnv(t, tinyMachine(), PolicyNone, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = p.Run(context.Background(), trace.NewSliceStream(insts), uint64(len(insts)))
+	if err == nil {
+		t.Fatal("mismatched $sp shadow did not fail")
+	}
+	if !strings.Contains(err.Error(), "$sp shadow") {
+		t.Errorf("err = %v, want the $sp shadow diagnostic", err)
+	}
+	_, again := p.Run(context.Background(), trace.NewSliceStream(nil), 1)
+	if again == nil {
+		t.Error("fatal error did not latch; a later Run executed on a corrupt shadow")
+	}
+}
+
+// The watchdog's error carries the machine state needed to debug a real
+// deadlock from the error alone.
+func TestDeadlockErrorRendering(t *testing.T) {
+	e := &DeadlockError{Cycle: 1234, Committed: 56, SinceCommit: 1000, State: "cycle=1234 RUU 3/16"}
+	msg := e.Error()
+	for _, part := range []string{"no commit for 1000 cycles", "cycle 1234", "RUU"} {
+		if !strings.Contains(msg, part) {
+			t.Errorf("Error() = %q, missing %q", msg, part)
+		}
+	}
+}
+
+// StateDump is bounded: maxEntries caps the RUU portion no matter how full
+// the window is.
+func TestStateDumpBounded(t *testing.T) {
+	env := testEnv(t, tinyMachine(), PolicyNone, 0)
+	p, err := New(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dump := p.StateDump(2)
+	if !strings.Contains(dump, "RUU") || !strings.Contains(dump, "IFQ") {
+		t.Errorf("dump %q missing occupancy fields", dump)
+	}
+	if strings.Count(dump, "ruu+") > 2 {
+		t.Errorf("dump shows more than maxEntries RUU entries: %q", dump)
+	}
+}

@@ -179,12 +179,16 @@ func (c LineChart) SVG() string {
 	plotW := w - marginL - marginR
 	plotH := h - marginTop - marginBot
 
-	// Data extents.
+	// Data extents. NaN points — failed experiment cells — are skipped
+	// here and rendered as line gaps below.
 	lo, hi := math.Inf(1), math.Inf(-1)
 	xlo, xhi := math.Inf(1), math.Inf(-1)
 	for _, s := range c.Series {
 		for i := range s.X {
 			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) {
+				continue
+			}
 			if c.LogX {
 				if x <= 0 {
 					continue
@@ -244,20 +248,29 @@ func (c LineChart) SVG() string {
 	b.elem(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`, marginL, marginTop, marginL, marginTop+plotH, axisColor)
 	b.elem(`<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="1"/>`, marginL, marginTop+plotH, w-marginR, marginTop+plotH, axisColor)
 
-	// Series polylines (2px, thin marks).
+	// Series polylines (2px, thin marks). A NaN point breaks the line into
+	// separate segments, so a failed cell reads as a gap rather than an
+	// interpolated value.
 	for i, s := range c.Series {
 		color := seriesColors[i%len(seriesColors)]
 		var pts []string
+		flush := func() {
+			if len(pts) > 0 {
+				b.elem(`<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`, strings.Join(pts, " "), color)
+				pts = pts[:0]
+			}
+		}
 		for j := range s.X {
+			if math.IsNaN(s.X[j]) || math.IsNaN(s.Y[j]) {
+				flush()
+				continue
+			}
 			if c.LogX && s.X[j] <= 0 {
 				continue
 			}
 			pts = append(pts, fmt.Sprintf("%.1f,%.1f", sx(s.X[j]), sy(s.Y[j])))
 		}
-		if len(pts) == 0 {
-			continue
-		}
-		b.elem(`<polyline points="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`, strings.Join(pts, " "), color)
+		flush()
 	}
 
 	// Axis labels.
@@ -296,6 +309,9 @@ func (c BarChart) SVG() string {
 	lo, hi := 0.0, math.Inf(-1)
 	for _, g := range c.Groups {
 		for _, v := range g.Values {
+			if math.IsNaN(v) {
+				continue // failed cell — drawn as an annotated gap below
+			}
 			hi = math.Max(hi, v)
 			lo = math.Min(lo, v)
 		}
@@ -336,6 +352,14 @@ func (c BarChart) SVG() string {
 				}
 				v := g.Values[ci]
 				x := cx - groupW/2 + float64(gi)*(barW+2) + 1
+				if math.IsNaN(v) {
+					// Failed cell: an ×-mark at the baseline instead of a
+					// bar, so the gap is visibly deliberate.
+					mx, my, mr := x+barW/2, zeroY-4, math.Min(3.5, barW/2)
+					b.elem(`<path d="M %.1f %.1f L %.1f %.1f M %.1f %.1f L %.1f %.1f" stroke="%s" stroke-width="1.5" stroke-linecap="round"/>`,
+						mx-mr, my-mr, mx+mr, my+mr, mx-mr, my+mr, mx+mr, my-mr, textSecondary)
+					continue
+				}
 				yTop, yBot := sy(v), zeroY
 				if v < 0 {
 					yTop, yBot = zeroY, sy(v)

@@ -132,18 +132,21 @@ func (r *RSE) TakePenalty() int {
 }
 
 // NotifySPUpdate tracks a stack-pointer change: growth pushes a frame,
-// shrinkage pops frames. Must be called in program order.
-func (r *RSE) NotifySPUpdate(oldSP, newSP uint64) {
+// shrinkage pops frames. Must be called in program order; an out-of-order
+// update (oldSP disagreeing with the engine's tracked $sp) is reported as
+// an error so callers outside a recover net still get a diagnosable
+// failure instead of a crash.
+func (r *RSE) NotifySPUpdate(oldSP, newSP uint64) error {
 	if !r.spKnown {
 		r.sp = newSP
 		r.spKnown = true
 		if oldSP == newSP {
-			return
+			return nil
 		}
 		oldSP = newSP // treat the first delta as anchored
 	}
 	if oldSP != r.sp {
-		panic(fmt.Sprintf("rse: SP update from %#x but engine is at %#x", oldSP, r.sp))
+		return fmt.Errorf("rse: SP update from %#x but engine is at %#x", oldSP, r.sp)
 	}
 	switch {
 	case newSP < oldSP:
@@ -153,6 +156,7 @@ func (r *RSE) NotifySPUpdate(oldSP, newSP uint64) {
 		r.pop(newSP)
 	}
 	r.sp = newSP
+	return nil
 }
 
 // push allocates a frame of the given size, spilling old frames on

@@ -231,12 +231,16 @@ func TestPenaltyAccounting(t *testing.T) {
 	}
 }
 
-func TestSPMismatchPanics(t *testing.T) {
+func TestSPMismatchReturnsError(t *testing.T) {
 	r, _ := newRSE(t, 64)
-	defer func() {
-		if recover() == nil {
-			t.Error("inconsistent SP should panic")
-		}
-	}()
-	r.NotifySPUpdate(base-8, base-16)
+	if err := r.NotifySPUpdate(base, base); err != nil {
+		t.Fatalf("anchoring update: %v", err)
+	}
+	if err := r.NotifySPUpdate(base-8, base-16); err == nil {
+		t.Error("inconsistent SP should return an error, not panic")
+	}
+	// The engine stays usable: a consistent update still applies.
+	if err := r.NotifySPUpdate(base, base-64); err != nil {
+		t.Errorf("consistent update after rejected one: %v", err)
+	}
 }

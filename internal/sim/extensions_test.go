@@ -2,6 +2,7 @@ package sim
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"svf/internal/bpred"
@@ -49,7 +50,7 @@ func TestRecordedTraceMatchesLiveGenerator(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		st, err := p.Run(s, n)
+		st, err := p.Run(context.Background(), s, n)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -101,11 +102,11 @@ func TestAdaptiveDisableOption(t *testing.T) {
 	thrash.DepthTypicalWords = 3000
 	thrash.DepthBurstWords = 4000
 
-	plainIn, plainOut, _, err := TrafficOnlySVF(&thrash, core.Config{SizeBytes: 1 << 10}, 600_000, 0)
+	plainIn, plainOut, _, err := TrafficOnlySVF(context.Background(), &thrash, core.Config{SizeBytes: 1 << 10}, 600_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	adaptIn, adaptOut, _, err := TrafficOnlySVF(&thrash, core.Config{SizeBytes: 1 << 10, AdaptiveDisable: true}, 600_000, 0)
+	adaptIn, adaptOut, _, err := TrafficOnlySVF(context.Background(), &thrash, core.Config{SizeBytes: 1 << 10, AdaptiveDisable: true}, 600_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +171,11 @@ func TestRSEEndToEnd(t *testing.T) {
 // traffic must exceed the SVF's dirty-words-only flush.
 func TestRSEContextSwitchCostExceedsSVF(t *testing.T) {
 	prof := synth.Crafty()
-	_, _, svfBytes, err := TrafficOnly(prof, pipeline.PolicySVF, 8<<10, 800_000, 100_000)
+	_, _, svfBytes, err := TrafficOnly(context.Background(), prof, pipeline.PolicySVF, 8<<10, 800_000, 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, rseBytes, err := TrafficOnly(prof, pipeline.PolicyRSE, 8<<10, 800_000, 100_000)
+	_, _, rseBytes, err := TrafficOnly(context.Background(), prof, pipeline.PolicyRSE, 8<<10, 800_000, 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,11 +189,11 @@ func TestRSEContextSwitchCostExceedsSVF(t *testing.T) {
 // workloads.
 func TestRSETrafficCoarserThanSVF(t *testing.T) {
 	prof := synth.Gcc() // deep, oscillating stack: constant over/underflow
-	svfIn, svfOut, _, err := TrafficOnly(prof, pipeline.PolicySVF, 2<<10, 600_000, 0)
+	svfIn, svfOut, _, err := TrafficOnly(context.Background(), prof, pipeline.PolicySVF, 2<<10, 600_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rseIn, rseOut, _, err := TrafficOnly(prof, pipeline.PolicyRSE, 2<<10, 600_000, 0)
+	rseIn, rseOut, _, err := TrafficOnly(context.Background(), prof, pipeline.PolicyRSE, 2<<10, 600_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

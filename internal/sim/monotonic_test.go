@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"svf/internal/pipeline"
@@ -32,7 +33,7 @@ func TestSVFSizeTrafficMonotonicity(t *testing.T) {
 	for _, prof := range []*synth.Profile{synth.Gcc(), synth.Perlbmk(), synth.Bzip2()} {
 		var prev uint64 = ^uint64(0)
 		for _, kb := range []int{1, 2, 4, 8, 16} {
-			in, out, _, err := TrafficOnly(prof, pipeline.PolicySVF, kb<<10, 400_000, 0)
+			in, out, _, err := TrafficOnly(context.Background(), prof, pipeline.PolicySVF, kb<<10, 400_000, 0)
 			if err != nil {
 				t.Fatal(err)
 			}

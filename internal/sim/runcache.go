@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -25,6 +27,14 @@ import (
 // 5/7/8/9 and Table 4 runs, and specs shared between figures (Figure 7's
 // 2+0/2+1/2+2 points are byte-identical to Figure 9's) simulate once.
 //
+// Failure policy: faults are never cached. A failed execution's entry is
+// dropped, and when the failure is a contained *Fault the cache re-executes
+// once (bounded retry) before declaring the run failed — a transient fault
+// costs one extra simulation, a deterministic one fails twice and is
+// reported. Fault-injected runs (Options.FaultPlan matching the workload)
+// bypass the cache entirely, so an injected result can never be cached for
+// — or served to — a clean request.
+//
 // Results accumulate for the cache's lifetime; use a fresh cache per sweep
 // when memory matters more than reuse.
 type RunCache struct {
@@ -32,6 +42,10 @@ type RunCache struct {
 	traffic flightGroup[trafficKey, trafficVal]
 	char    flightGroup[charKey, *synth.Characterization]
 	cnt     cacheCounters
+
+	// runFn, when non-nil, replaces RunContext for timing runs — a test
+	// seam for exercising retry accounting deterministically.
+	runFn func(context.Context, *synth.Profile, Options) (*Result, error)
 }
 
 // cacheCounters are the cache's event counters (internal/stats).
@@ -39,7 +53,8 @@ type cacheCounters struct {
 	hits     stats.Counter // served from a completed entry
 	shared   stats.Counter // joined an in-flight simulation
 	misses   stats.Counter // simulations actually executed
-	errors   stats.Counter // executions that failed (entry dropped)
+	errors   stats.Counter // execution attempts that failed (entry dropped)
+	retries  stats.Counter // bounded re-executions after a contained fault
 	simNanos stats.Counter // wall-clock nanoseconds spent executing
 }
 
@@ -62,22 +77,67 @@ type runKey struct {
 
 // Canonical returns opt with defaults filled and presentation-only state
 // normalised, so equivalent configurations compare equal as cache keys: the
-// machine's display Name is dropped, and the DL1Ports override is cleared
-// after fillDefaults has folded it into Machine.DL1Ports.
+// machine's display Name is dropped, the DL1Ports override is cleared
+// after fillDefaults has folded it into Machine.DL1Ports, and any FaultPlan
+// is cleared (injected runs never reach the cache's key space — see Run).
 func Canonical(opt Options) Options {
 	opt.fillDefaults()
 	opt.Machine.Name = ""
 	opt.DL1Ports = 0
+	opt.FaultPlan = nil
 	return opt
 }
 
-// Run returns the memoized Result of Run(prof, opt), executing the
-// simulation at most once per unique (profile contents, canonical options)
-// pair. The returned Result is a private copy; callers may modify it.
-func (c *RunCache) Run(prof *synth.Profile, opt Options) (*Result, error) {
+// retryFault runs fn, re-executing once when the failure is a contained
+// *Fault and the context is still alive. Every failed attempt counts in
+// cnt.errors; the re-execution counts in cnt.retries. Cancellation and
+// configuration errors are not retried — they would fail identically.
+func retryFault[V any](ctx context.Context, cnt *cacheCounters, fn func() (V, error)) (V, error) {
+	v, err := fn()
+	if err == nil {
+		return v, nil
+	}
+	cnt.errors.Inc()
+	var f *Fault
+	if !errors.As(err, &f) || ctx.Err() != nil {
+		return v, err
+	}
+	cnt.retries.Inc()
+	v, err = fn()
+	if err != nil {
+		cnt.errors.Inc()
+	}
+	return v, err
+}
+
+// Run returns the memoized Result of RunContext(ctx, prof, opt), executing
+// the simulation at most once per unique (profile contents, canonical
+// options) pair. Runs with an active FaultPlan matching the profile execute
+// outside the cache (and without retry — injection is deterministic). The
+// returned Result is a private copy; callers may modify it.
+func (c *RunCache) Run(ctx context.Context, prof *synth.Profile, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	run := c.runFn
+	if run == nil {
+		run = RunContext
+	}
+	if opt.FaultPlan.Active() && opt.FaultPlan.Matches(prof.ID()) {
+		c.cnt.misses.Inc()
+		start := time.Now()
+		res, err := run(ctx, prof, opt)
+		c.cnt.simNanos.Add(uint64(time.Since(start)))
+		if err != nil {
+			c.cnt.errors.Inc()
+		}
+		return res, err
+	}
 	key := runKey{prof.Fingerprint(), Canonical(opt)}
-	res, err := c.runs.do(key, &c.cnt, func() (*Result, error) {
-		return Run(prof, opt)
+	res, err := c.runs.do(ctx, key, &c.cnt, func() (*Result, error) {
+		return retryFault(ctx, &c.cnt, func() (*Result, error) {
+			return run(ctx, prof, opt)
+		})
 	})
 	return cloneResult(res), err
 }
@@ -94,11 +154,16 @@ type trafficKey struct {
 type trafficVal struct{ in, out, ctx uint64 }
 
 // Traffic returns the memoized result of TrafficOnly.
-func (c *RunCache) Traffic(prof *synth.Profile, policy pipeline.StackPolicy, sizeBytes, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+func (c *RunCache) Traffic(ctx context.Context, prof *synth.Profile, policy pipeline.StackPolicy, sizeBytes, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	key := trafficKey{prof.Fingerprint(), policy, sizeBytes, maxInsts, ctxPeriod}
-	v, err := c.traffic.do(key, &c.cnt, func() (trafficVal, error) {
-		in, out, ctx, err := TrafficOnly(prof, policy, sizeBytes, maxInsts, ctxPeriod)
-		return trafficVal{in, out, ctx}, err
+	v, err := c.traffic.do(ctx, key, &c.cnt, func() (trafficVal, error) {
+		return retryFault(ctx, &c.cnt, func() (trafficVal, error) {
+			in, out, cb, err := TrafficOnly(ctx, prof, policy, sizeBytes, maxInsts, ctxPeriod)
+			return trafficVal{in, out, cb}, err
+		})
 	})
 	return v.in, v.out, v.ctx, err
 }
@@ -113,14 +178,19 @@ type charKey struct {
 // profile over maxInsts instructions — Figures 1-3 all consume the same
 // pass. The returned Characterization is shared between callers and must be
 // treated as read-only.
-func (c *RunCache) Characterize(prof *synth.Profile, maxInsts int) (*synth.Characterization, error) {
+func (c *RunCache) Characterize(ctx context.Context, prof *synth.Profile, maxInsts int) (*synth.Characterization, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	key := charKey{prof.Fingerprint(), maxInsts}
-	return c.char.do(key, &c.cnt, func() (*synth.Characterization, error) {
-		prog, err := ProgramFor(prof)
-		if err != nil {
-			return nil, err
-		}
-		return synth.Characterize(synth.NewGeneratorFor(prog), prog.Layout, maxInsts), nil
+	return c.char.do(ctx, key, &c.cnt, func() (*synth.Characterization, error) {
+		return retryFault(ctx, &c.cnt, func() (*synth.Characterization, error) {
+			prog, err := ProgramFor(prof)
+			if err != nil {
+				return nil, err
+			}
+			return synth.Characterize(synth.NewGeneratorFor(prog), prog.Layout, maxInsts), nil
+		})
 	})
 }
 
@@ -153,9 +223,11 @@ type CacheStats struct {
 	// requests that joined a simulation already in flight; Misses counts
 	// simulations actually executed.
 	Hits, Shared, Misses uint64
-	// Errors counts executions that failed; failed entries are dropped so
-	// a retry re-executes.
-	Errors uint64
+	// Errors counts execution attempts that failed; failed entries are
+	// dropped so a later request re-executes. Retries counts the bounded
+	// re-executions taken after a contained fault (each retry that fails
+	// again also counts in Errors).
+	Errors, Retries uint64
 	// Entries is the number of resident results across all three kinds
 	// (timing runs, traffic runs, characterisations).
 	Entries int
@@ -171,6 +243,7 @@ func (c *RunCache) Stats() CacheStats {
 		Shared:  c.cnt.shared.Load(),
 		Misses:  c.cnt.misses.Load(),
 		Errors:  c.cnt.errors.Load(),
+		Retries: c.cnt.retries.Load(),
 		Entries: c.runs.len() + c.traffic.len() + c.char.len(),
 		SimTime: time.Duration(c.cnt.simNanos.Load()),
 	}
@@ -181,15 +254,15 @@ func (s CacheStats) Requests() uint64 { return s.Hits + s.Shared + s.Misses }
 
 // String renders the one-line summary printed by `svfexp -cache-stats`.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("run cache: %d requests → %d simulated, %d hits, %d deduped in flight, %d errors; %d entries; %s simulating",
-		s.Requests(), s.Misses, s.Hits, s.Shared, s.Errors, s.Entries, s.SimTime.Round(time.Millisecond))
+	return fmt.Sprintf("run cache: %d requests → %d simulated, %d hits, %d deduped in flight, %d errors (%d retried); %d entries; %s simulating",
+		s.Requests(), s.Misses, s.Hits, s.Shared, s.Errors, s.Retries, s.Entries, s.SimTime.Round(time.Millisecond))
 }
 
 // Table renders the stats in the report-table form the experiment harnesses
 // use everywhere else.
 func (s CacheStats) Table() *stats.Table {
-	t := stats.NewTable("requests", "simulated", "hits", "deduped", "errors", "entries", "sim time")
-	t.AddRow(s.Requests(), s.Misses, s.Hits, s.Shared, s.Errors, s.Entries, s.SimTime.Round(time.Millisecond).String())
+	t := stats.NewTable("requests", "simulated", "hits", "deduped", "errors", "retries", "entries", "sim time")
+	t.AddRow(s.Requests(), s.Misses, s.Hits, s.Shared, s.Errors, s.Retries, s.Entries, s.SimTime.Round(time.Millisecond).String())
 	return t
 }
 
@@ -209,8 +282,10 @@ type flightGroup[K comparable, V any] struct {
 }
 
 // do returns the value for key, joining an in-flight execution or starting
-// fn, and bumps the matching counters.
-func (g *flightGroup[K, V]) do(key K, cnt *cacheCounters, fn func() (V, error)) (V, error) {
+// fn, and bumps the matching counters. A caller waiting on someone else's
+// in-flight execution stops waiting when its own context is cancelled (the
+// execution itself keeps running for the caller that started it).
+func (g *flightGroup[K, V]) do(ctx context.Context, key K, cnt *cacheCounters, fn func() (V, error)) (V, error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[K]*flight[V])
@@ -223,8 +298,13 @@ func (g *flightGroup[K, V]) do(key K, cnt *cacheCounters, fn func() (V, error)) 
 		default:
 		}
 		g.mu.Unlock()
-		<-f.done
 		if inFlight {
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				var zero V
+				return zero, ctx.Err()
+			}
 			cnt.shared.Inc()
 		} else {
 			cnt.hits.Inc()
@@ -240,9 +320,8 @@ func (g *flightGroup[K, V]) do(key K, cnt *cacheCounters, fn func() (V, error)) 
 	f.val, f.err = fn()
 	cnt.simNanos.Add(uint64(time.Since(start)))
 	if f.err != nil {
-		// Failed runs are not cached: drop the entry so a retry
+		// Failed runs are not cached: drop the entry so a later request
 		// re-executes instead of replaying the error forever.
-		cnt.errors.Inc()
 		g.mu.Lock()
 		delete(g.m, key)
 		g.mu.Unlock()

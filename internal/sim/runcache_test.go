@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -51,7 +52,7 @@ func TestRunCacheDeterminism(t *testing.T) {
 		t.Fatal(err)
 	}
 	c := NewRunCache()
-	first, err := c.Run(prof, opt)
+	first, err := c.Run(context.Background(), prof, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestRunCacheDeterminism(t *testing.T) {
 	// Mutate the handed-out copy, then re-fetch: the cache must be intact.
 	first.Pipe.Cycles = 0
 	first.SVF.MorphedLoads = 0
-	second, err := c.Run(prof, opt)
+	second, err := c.Run(context.Background(), prof, opt)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestRunCacheDedupsConcurrentRequests(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = c.Run(prof, opt)
+			results[i], errs[i] = c.Run(context.Background(), prof, opt)
 		}(i)
 	}
 	wg.Wait()
@@ -114,12 +115,12 @@ func TestRunCacheDedupsConcurrentRequests(t *testing.T) {
 func TestRunCacheCanonicalKeys(t *testing.T) {
 	c := NewRunCache()
 	prof := synth.Gzip()
-	if _, err := c.Run(prof, Options{Machine: pipeline.SixteenWide(), DL1Ports: 2, MaxInsts: cacheTestInsts}); err != nil {
+	if _, err := c.Run(context.Background(), prof, Options{Machine: pipeline.SixteenWide(), DL1Ports: 2, MaxInsts: cacheTestInsts}); err != nil {
 		t.Fatal(err)
 	}
 	renamed := pipeline.SixteenWide() // DL1Ports defaults to 2
 	renamed.Name = "16-wide (relabeled)"
-	if _, err := c.Run(prof, Options{Machine: renamed, MaxInsts: cacheTestInsts}); err != nil {
+	if _, err := c.Run(context.Background(), prof, Options{Machine: renamed, MaxInsts: cacheTestInsts}); err != nil {
 		t.Fatal(err)
 	}
 	st := c.Stats()
@@ -127,7 +128,7 @@ func TestRunCacheCanonicalKeys(t *testing.T) {
 		t.Errorf("stats = %+v, want the equivalent configs to share one entry", st)
 	}
 	// A behavioral difference must be a different key.
-	if _, err := c.Run(prof, Options{Machine: pipeline.SixteenWide(), DL1Ports: 1, MaxInsts: cacheTestInsts}); err != nil {
+	if _, err := c.Run(context.Background(), prof, Options{Machine: pipeline.SixteenWide(), DL1Ports: 1, MaxInsts: cacheTestInsts}); err != nil {
 		t.Fatal(err)
 	}
 	if st := c.Stats(); st.Misses != 2 {
@@ -141,13 +142,16 @@ func TestRunCacheDoesNotCacheErrors(t *testing.T) {
 	prof := synth.Gzip()
 	bad := Options{Predictor: "bogus", MaxInsts: 1000}
 	for i := 0; i < 2; i++ {
-		if _, err := c.Run(prof, bad); err == nil {
+		if _, err := c.Run(context.Background(), prof, bad); err == nil {
 			t.Fatal("expected an error for an unknown predictor")
 		}
 	}
 	st := c.Stats()
 	if st.Misses != 2 || st.Errors != 2 {
 		t.Errorf("stats = %+v, want both attempts executed", st)
+	}
+	if st.Retries != 0 {
+		t.Errorf("retries = %d; configuration errors must not be retried", st.Retries)
 	}
 	if st.Entries != 0 {
 		t.Errorf("entries = %d, failed runs must not be resident", st.Entries)
@@ -158,11 +162,11 @@ func TestRunCacheDoesNotCacheErrors(t *testing.T) {
 func TestRunCacheTrafficAndCharacterize(t *testing.T) {
 	c := NewRunCache()
 	prof := synth.Crafty()
-	in1, out1, ctx1, err := c.Traffic(prof, pipeline.PolicySVF, 8<<10, 100_000, 0)
+	in1, out1, ctx1, err := c.Traffic(context.Background(), prof, pipeline.PolicySVF, 8<<10, 100_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	in2, out2, ctx2, err := c.Traffic(prof, pipeline.PolicySVF, 8<<10, 100_000, 0)
+	in2, out2, ctx2, err := c.Traffic(context.Background(), prof, pipeline.PolicySVF, 8<<10, 100_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +174,11 @@ func TestRunCacheTrafficAndCharacterize(t *testing.T) {
 		t.Errorf("cached traffic (%d,%d,%d) differs from first run (%d,%d,%d)",
 			in2, out2, ctx2, in1, out1, ctx1)
 	}
-	ch1, err := c.Characterize(prof, 100_000)
+	ch1, err := c.Characterize(context.Background(), prof, 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ch2, err := c.Characterize(prof, 100_000)
+	ch2, err := c.Characterize(context.Background(), prof, 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}

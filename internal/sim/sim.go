@@ -6,12 +6,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"svf/internal/bpred"
 	"svf/internal/cache"
 	"svf/internal/core"
+	"svf/internal/faultinject"
 	"svf/internal/isa"
 	"svf/internal/pipeline"
 	"svf/internal/regions"
@@ -72,6 +74,14 @@ type Options struct {
 	// CtxSwitchPeriod enables context switching when non-zero (Table 4
 	// uses 400000).
 	CtxSwitchPeriod uint64
+
+	// FaultPlan, when non-nil and matching the workload, injects the
+	// plan's deterministic faults into the run (chaos testing). A pointer
+	// keeps Options comparable. Canonical clears it, and RunCache
+	// executes matching injected runs outside the cache, so a
+	// fault-injected result can never be cached for — or served to — a
+	// clean request.
+	FaultPlan *faultinject.Plan
 }
 
 func (o *Options) fillDefaults() {
@@ -152,21 +162,36 @@ func ProgramFor(prof *synth.Profile) (*synth.Program, error) {
 	return prog, nil
 }
 
-// Run executes one simulation and returns its Result.
+// Run executes one simulation and returns its Result. It is RunContext
+// under context.Background() — use RunContext when the run must honour
+// cancellation or a deadline.
 func Run(prof *synth.Profile, opt Options) (*Result, error) {
+	return RunContext(context.Background(), prof, opt)
+}
+
+// RunContext executes one supervised simulation: internal panics and
+// pipeline consistency failures come back as a *Fault, and ctx
+// cancellation stops the run promptly with ctx.Err().
+func RunContext(ctx context.Context, prof *synth.Profile, opt Options) (*Result, error) {
 	opt.fillDefaults()
 	prog, err := ProgramFor(prof)
 	if err != nil {
 		return nil, err
 	}
-	return RunStream(prof.ID(), synth.NewGeneratorFor(prog), opt)
+	return runStream(ctx, prof.ID(), prof.Fingerprint(), synth.NewGeneratorFor(prog), opt)
 }
 
 // RunStream executes one simulation over an arbitrary instruction stream
 // (e.g. a trace recorded with the trace package) under the same
-// configuration plumbing as Run. The stream must start at program entry so
-// the $sp shadow can anchor.
-func RunStream(name string, gen trace.Stream, opt Options) (*Result, error) {
+// configuration plumbing — and the same supervision — as RunContext. The
+// stream must start at program entry so the $sp shadow can anchor.
+func RunStream(ctx context.Context, name string, gen trace.Stream, opt Options) (*Result, error) {
+	return runStream(ctx, name, name, gen, opt)
+}
+
+// runStream is the shared run body; identity feeds the run fingerprint
+// (profile contents for Run, the stream name for RunStream).
+func runStream(ctx context.Context, name, identity string, gen trace.Stream, opt Options) (*Result, error) {
 	opt.fillDefaults()
 
 	hcfg := cache.DefaultHierarchyConfig()
@@ -202,6 +227,10 @@ func RunStream(name string, gen trace.Stream, opt Options) (*Result, error) {
 		Pred:            pred,
 		Layout:          regions.DefaultLayout(),
 		CtxSwitchPeriod: opt.CtxSwitchPeriod,
+	}
+	if opt.FaultPlan.Active() && opt.FaultPlan.Matches(name) {
+		gen = opt.FaultPlan.WrapStream(gen)
+		env.Inject = opt.FaultPlan
 	}
 	var svf *core.SVF
 	var sc *stackcache.StackCache
@@ -240,9 +269,10 @@ func RunStream(name string, gen trace.Stream, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	ps, err := pl.Run(&trace.Limit{S: gen, N: opt.MaxInsts}, uint64(opt.MaxInsts))
+	ps, err := runContained(ctx, name, runFingerprint(identity, opt), pl,
+		&trace.Limit{S: gen, N: opt.MaxInsts}, uint64(opt.MaxInsts))
 	if err != nil {
-		return nil, fmt.Errorf("sim: %s on %s: %w", name, opt.Machine.Name, err)
+		return nil, err
 	}
 
 	res := &Result{
@@ -275,24 +305,45 @@ func RunStream(name string, gen trace.Stream, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// trafficCtxCheckMask is how often (in instructions, power of two minus
+// one) the functional traffic loops poll their context.
+const trafficCtxCheckMask = 1<<16 - 1
+
 // TrafficOnly runs just the stack structure against the trace (no timing
 // pipeline), which is all Table 3 needs; it is an order of magnitude faster
-// than a full timing run. It returns quadwords (in, out).
-func TrafficOnly(prof *synth.Profile, policy pipeline.StackPolicy, sizeBytes, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+// than a full timing run. It returns quadwords (in, out). Like RunContext,
+// it is supervised: panics come back as a *Fault and cancellation as
+// ctx.Err().
+func TrafficOnly(ctx context.Context, prof *synth.Profile, policy pipeline.StackPolicy, sizeBytes, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
 	switch policy {
 	case pipeline.PolicySVF:
-		return TrafficOnlySVF(prof, core.Config{SizeBytes: sizeBytes}, maxInsts, ctxPeriod)
+		return TrafficOnlySVF(ctx, prof, core.Config{SizeBytes: sizeBytes}, maxInsts, ctxPeriod)
 	case pipeline.PolicyStackCache:
-		return trafficOnlyRun(prof, nil, stackcache.Config{SizeBytes: sizeBytes}, maxInsts, ctxPeriod)
+		return trafficOnlyRun(ctx, prof, nil, stackcache.Config{SizeBytes: sizeBytes}, maxInsts, ctxPeriod)
 	case pipeline.PolicyRSE:
-		return trafficOnlyRSE(prof, rse.Config{Regs: sizeBytes / isa.WordSize}, maxInsts, ctxPeriod)
+		return trafficOnlyRSE(ctx, prof, rse.Config{Regs: sizeBytes / isa.WordSize}, maxInsts, ctxPeriod)
 	default:
 		return 0, 0, 0, fmt.Errorf("sim: TrafficOnly needs a stack policy")
 	}
 }
 
+// trafficFault wraps a traffic-loop failure in the common Fault shape.
+func trafficFault(prof *synth.Profile, committed uint64, panicked any, cause error) *Fault {
+	f := &Fault{
+		Bench:       prof.ID(),
+		Fingerprint: fingerprintOf("traffic|", prof.Fingerprint()),
+		Committed:   committed,
+		Err:         cause,
+	}
+	if panicked != nil {
+		f.Panic = fmt.Sprint(panicked)
+		f.Stack = boundedStack()
+	}
+	return f
+}
+
 // trafficOnlyRSE drives just the register stack engine over the trace.
-func trafficOnlyRSE(prof *synth.Profile, cfg rse.Config, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+func trafficOnlyRSE(ctx context.Context, prof *synth.Profile, cfg rse.Config, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
 	prog, err := ProgramFor(prof)
 	if err != nil {
 		return 0, 0, 0, err
@@ -311,9 +362,17 @@ func trafficOnlyRSE(prof *synth.Profile, cfg rse.Config, maxInsts int, ctxPeriod
 	if ctxPeriod > 0 {
 		nextCtx = ctxPeriod
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = trafficFault(prof, committed, r, nil)
+		}
+	}()
 	spKnown := false
 	var sp uint64
 	for i := 0; i < maxInsts; i++ {
+		if i&trafficCtxCheckMask == 0 && ctx.Err() != nil {
+			return 0, 0, 0, fmt.Errorf("sim: %s: %w", prof.ID(), ctx.Err())
+		}
 		if !gen.Next(&in) {
 			break
 		}
@@ -327,13 +386,17 @@ func trafficOnlyRSE(prof *synth.Profile, cfg rse.Config, maxInsts int, ctxPeriod
 			if spKnown {
 				old := sp
 				sp = uint64(int64(sp) + int64(in.Imm))
-				eng.NotifySPUpdate(old, sp)
+				if uerr := eng.NotifySPUpdate(old, sp); uerr != nil {
+					return 0, 0, 0, trafficFault(prof, committed, nil, uerr)
+				}
 			}
 		case in.IsMem() && in.SPRelative():
 			if !spKnown {
 				sp = in.Addr - uint64(int64(in.Imm))
 				spKnown = true
-				eng.NotifySPUpdate(sp, sp)
+				if uerr := eng.NotifySPUpdate(sp, sp); uerr != nil {
+					return 0, 0, 0, trafficFault(prof, committed, nil, uerr)
+				}
 			}
 			eng.Access(in.Addr, in.Kind == isa.KindStore)
 		}
@@ -344,11 +407,11 @@ func trafficOnlyRSE(prof *synth.Profile, cfg rse.Config, maxInsts int, ctxPeriod
 
 // TrafficOnlySVF is TrafficOnly with full control over the SVF
 // configuration (granularity and liveness-kill ablations).
-func TrafficOnlySVF(prof *synth.Profile, svfCfg core.Config, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
-	return trafficOnlyRun(prof, &svfCfg, stackcache.Config{}, maxInsts, ctxPeriod)
+func TrafficOnlySVF(ctx context.Context, prof *synth.Profile, svfCfg core.Config, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+	return trafficOnlyRun(ctx, prof, &svfCfg, stackcache.Config{}, maxInsts, ctxPeriod)
 }
 
-func trafficOnlyRun(prof *synth.Profile, svfCfg *core.Config, scCfg stackcache.Config, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
+func trafficOnlyRun(ctx context.Context, prof *synth.Profile, svfCfg *core.Config, scCfg stackcache.Config, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
 	prog, err := ProgramFor(prof)
 	if err != nil {
 		return 0, 0, 0, err
@@ -377,9 +440,17 @@ func trafficOnlyRun(prof *synth.Profile, svfCfg *core.Config, scCfg stackcache.C
 	if ctxPeriod > 0 {
 		nextCtx = ctxPeriod
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = trafficFault(prof, committed, r, nil)
+		}
+	}()
 	spKnown := false
 	var sp uint64
 	for i := 0; i < maxInsts; i++ {
+		if i&trafficCtxCheckMask == 0 && ctx.Err() != nil {
+			return 0, 0, 0, fmt.Errorf("sim: %s: %w", prof.ID(), ctx.Err())
+		}
 		if !gen.Next(&in) {
 			break
 		}

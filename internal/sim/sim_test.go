@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"svf/internal/pipeline"
@@ -149,11 +150,11 @@ func TestInfiniteSVFFasterThanBaseline(t *testing.T) {
 }
 
 func TestTrafficOnly(t *testing.T) {
-	scIn, scOut, _, err := TrafficOnly(synth.Gcc(), pipeline.PolicyStackCache, 2<<10, 200_000, 0)
+	scIn, scOut, _, err := TrafficOnly(context.Background(), synth.Gcc(), pipeline.PolicyStackCache, 2<<10, 200_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	svfIn, svfOut, _, err := TrafficOnly(synth.Gcc(), pipeline.PolicySVF, 2<<10, 200_000, 0)
+	svfIn, svfOut, _, err := TrafficOnly(context.Background(), synth.Gcc(), pipeline.PolicySVF, 2<<10, 200_000, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,11 +170,11 @@ func TestTrafficOnly(t *testing.T) {
 }
 
 func TestTrafficOnlyContextSwitches(t *testing.T) {
-	_, _, scBytes, err := TrafficOnly(synth.Crafty(), pipeline.PolicyStackCache, 8<<10, 400_000, 100_000)
+	_, _, scBytes, err := TrafficOnly(context.Background(), synth.Crafty(), pipeline.PolicyStackCache, 8<<10, 400_000, 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, _, svfBytes, err := TrafficOnly(synth.Crafty(), pipeline.PolicySVF, 8<<10, 400_000, 100_000)
+	_, _, svfBytes, err := TrafficOnly(context.Background(), synth.Crafty(), pipeline.PolicySVF, 8<<10, 400_000, 100_000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestTrafficOnlyContextSwitches(t *testing.T) {
 }
 
 func TestTrafficOnlyRequiresPolicy(t *testing.T) {
-	if _, _, _, err := TrafficOnly(synth.Gzip(), pipeline.PolicyNone, 8<<10, 1000, 0); err == nil {
+	if _, _, _, err := TrafficOnly(context.Background(), synth.Gzip(), pipeline.PolicyNone, 8<<10, 1000, 0); err == nil {
 		t.Error("PolicyNone should be rejected")
 	}
 }

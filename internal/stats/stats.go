@@ -196,6 +196,25 @@ func Mean(xs []float64) float64 {
 	return s / float64(len(xs))
 }
 
+// MeanValid returns the arithmetic mean of the non-NaN entries of xs, or
+// NaN if none are valid. Supervised experiment suites use it so a failed
+// (NaN-gap) cell drops out of the average instead of poisoning it.
+func MeanValid(xs []float64) float64 {
+	var s float64
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) {
+			continue
+		}
+		s += x
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return s / float64(n)
+}
+
 // GeoMean returns the geometric mean of xs (all must be positive), or 0 if
 // empty.
 func GeoMean(xs []float64) float64 {

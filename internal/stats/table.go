@@ -35,8 +35,12 @@ func (t *Table) AddRow(cells ...any) {
 }
 
 // FormatFloat renders a float compactly: two decimals for small magnitudes,
-// no decimals for large ones.
+// no decimals for large ones. NaN — the experiment harness's marker for a
+// cell whose simulation failed — renders as the annotated gap "n/a".
 func FormatFloat(v float64) string {
+	if v != v {
+		return "n/a"
+	}
 	av := v
 	if av < 0 {
 		av = -av

@@ -28,10 +28,12 @@
 package svf
 
 import (
+	"context"
 	"io"
 
 	"svf/internal/core"
 	"svf/internal/experiments"
+	"svf/internal/faultinject"
 	"svf/internal/isa"
 	"svf/internal/pipeline"
 	"svf/internal/regions"
@@ -128,13 +130,20 @@ func EightWide() MachineConfig { return pipeline.EightWide() }
 // SixteenWide returns the 16-wide Table 2 machine model.
 func SixteenWide() MachineConfig { return pipeline.SixteenWide() }
 
-// Run simulates one workload under one configuration.
+// Run simulates one workload under one configuration. Internal simulator
+// failures come back as a *Fault, never as a panic.
 func Run(p *Profile, opt Options) (*Result, error) { return sim.Run(p, opt) }
+
+// RunContext is Run under a context: cancellation (or a deadline) stops the
+// in-flight simulation at its next poll point and returns ctx's error.
+func RunContext(ctx context.Context, p *Profile, opt Options) (*Result, error) {
+	return sim.RunContext(ctx, p, opt)
+}
 
 // RunTrace simulates a pre-recorded instruction slice (see ReadTrace) under
 // one configuration.
 func RunTrace(name string, insts []Inst, opt Options) (*Result, error) {
-	return sim.RunStream(name, trace.NewSliceStream(insts), opt)
+	return sim.RunStream(context.Background(), name, trace.NewSliceStream(insts), opt)
 }
 
 // WriteTrace encodes instructions in the binary trace format.
@@ -147,14 +156,36 @@ func ReadTrace(r io.Reader) ([]Inst, error) { return trace.Read(r) }
 // workload — the fast path used by Tables 3 and 4. It returns fill and
 // writeback quadwords plus average context-switch flush bytes.
 func StackTraffic(p *Profile, policy StackPolicy, sizeBytes, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
-	return sim.TrafficOnly(p, policy, sizeBytes, maxInsts, ctxPeriod)
+	return sim.TrafficOnly(context.Background(), p, policy, sizeBytes, maxInsts, ctxPeriod)
 }
 
 // StackTrafficSVF is StackTraffic with full control over the SVF's
 // configuration (status-granularity and liveness-kill ablations).
 func StackTrafficSVF(p *Profile, cfg SVFConfig, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error) {
-	return sim.TrafficOnlySVF(p, cfg, maxInsts, ctxPeriod)
+	return sim.TrafficOnlySVF(context.Background(), p, cfg, maxInsts, ctxPeriod)
 }
+
+// Fault is a contained simulation failure: an internal panic caught by the
+// recover net, a tripped deadlock watchdog, or a pipeline consistency
+// error, carrying the run's fingerprint and the machine state at failure.
+// Use errors.As to extract it.
+type Fault = sim.Fault
+
+// FaultPlan is a deterministic fault-injection plan for chaos-testing the
+// supervision machinery (Options.FaultPlan, ExperimentConfig.Inject, and
+// svfexp -inject). The zero value injects nothing.
+type FaultPlan = faultinject.Plan
+
+// ParseFaultPlan parses the comma-separated key=value plan syntax used by
+// svfexp -inject (keys: bench, panic, stall, eof, corrupt, seed).
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return faultinject.Parse(spec) }
+
+// FaultLog collects the cell failures a supervised experiment suite
+// survived under its continue-on-fault policy (ExperimentConfig.Faults).
+type FaultLog = experiments.FaultLog
+
+// NewFaultLog returns an empty fault log.
+func NewFaultLog() *FaultLog { return experiments.NewFaultLog() }
 
 // Inst is one dynamic instruction of a workload trace.
 type Inst = isa.Inst
