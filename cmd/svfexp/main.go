@@ -26,7 +26,20 @@
 // and exits 130. -inject enables deterministic fault injection (e.g.
 // -inject "bench=186.crafty.ref,panic=5000") for supervision testing; its
 // spec grammar is documented in svf/internal/faultinject. A fault summary
-// — fingerprint, benchmark, cycle — is printed to stderr after the suite.
+// — fingerprint, benchmark, cycle — is printed to stderr after a degraded
+// suite; a clean suite prints none.
+//
+// Campaigns survive process death with -journal <dir>: every completed
+// cell is appended to a crash-safe on-disk journal (see DESIGN.md §5d),
+// and a later invocation with -resume restores those cells from disk and
+// re-executes only what is missing, reporting restored vs re-executed
+// counts. -retries N bounds how many times a faulted cell is re-executed
+// (across resumes, with capped exponential backoff) before it is latched
+// in the journal as permanently failed. Ctrl-C/SIGTERM flushes the journal
+// before exiting 130, so an interrupted sweep resumes where it stopped.
+// Fault-injected runs bypass the journal exactly as they bypass the run
+// cache; the journal-level plans (kill-mid-write, journal-torn-tail)
+// instead crash the journal itself deterministically, for recovery drills.
 package main
 
 import (
@@ -44,6 +57,7 @@ import (
 
 	"svf/internal/experiments"
 	"svf/internal/faultinject"
+	"svf/internal/journal"
 	"svf/internal/sim"
 )
 
@@ -64,6 +78,9 @@ func run() int {
 	runTimeout := flag.Duration("run-timeout", 0, "deadline per individual simulation run (0 = none)")
 	onFault := flag.String("on-fault", "continue", `simulation-fault policy: "continue" renders failed cells as gaps, "fail" aborts the experiment`)
 	inject := flag.String("inject", "", `deterministic fault-injection spec, e.g. "bench=186.crafty.ref,panic=5000" (see svf/internal/faultinject)`)
+	journalDir := flag.String("journal", "", "directory for the crash-safe campaign journal; completed cells persist across process death")
+	resume := flag.Bool("resume", false, "restore the -journal's completed cells instead of starting a fresh campaign")
+	retries := flag.Int("retries", 1, "re-executions allowed per faulted cell (across resumes) before it is latched as permanently failed")
 	flag.Parse()
 
 	policy, err := experiments.ParseFaultPolicy(*onFault)
@@ -131,6 +148,38 @@ func run() int {
 
 	cache := sim.SharedCache()
 	faults := experiments.NewFaultLog()
+	var jr *journal.Journal
+	var restored sim.RestoreStats
+	if *journalDir != "" {
+		j, rep, err := journal.Open(*journalDir, journal.Options{
+			Inject: plan,
+			// An injected journal crash must look like process death:
+			// exit with SIGKILL's conventional status, skipping every
+			// cleanup path, so recovery drills rehearse the real thing.
+			OnCrash: func() { os.Exit(137) },
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: -journal: %v\n", err)
+			return 2
+		}
+		defer j.Close()
+		if !*resume && len(rep.Records) > 0 {
+			fmt.Fprintf(os.Stderr, "svfexp: -journal: %s already holds %d record(s); pass -resume to continue the campaign, or remove the directory to start over\n",
+				*journalDir, len(rep.Records))
+			return 2
+		}
+		jr = j
+		cache, restored = sim.NewRunCacheWithJournal(j, rep)
+		if *resume {
+			fmt.Printf("journal: %s\n", restored)
+		}
+		// Latched cells were reported in their own session; replaying
+		// them into the fault log keeps this run's summary complete.
+		for _, err := range cache.RestoredFaults() {
+			faults.AddReplayed(err)
+		}
+	}
+	cache.SetRetries(*retries)
 	cfg := experiments.Config{
 		MaxInsts: *insts, TrafficInsts: *traffic, Parallel: *parallel, Cache: cache,
 		Ctx: ctx, RunTimeout: *runTimeout, OnFault: policy, Faults: faults, Inject: plan,
@@ -291,11 +340,22 @@ func run() int {
 	if *cacheStats {
 		fmt.Println(cache.Stats())
 	}
+	if jr != nil {
+		st := cache.Stats()
+		js := jr.Stats()
+		fmt.Printf("journal: %d cell(s) restored from disk, %d re-executed this run; %d record(s) appended (%d fsync batches)\n",
+			restored.Restored(), st.Misses, js.Appends, js.SyncBatches)
+	}
 	if s := faults.Summary(); s != "" {
 		fmt.Fprint(os.Stderr, "svfexp: "+s)
 	}
 	if ctx.Err() != nil {
-		fmt.Fprintln(os.Stderr, "svfexp: interrupted")
+		if jr != nil {
+			jr.Close() // flush now: the journal must be durable before we report the interrupt
+			fmt.Fprintf(os.Stderr, "svfexp: interrupted (journal flushed; continue with -journal %s -resume)\n", *journalDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "svfexp: interrupted")
+		}
 		return 130
 	}
 	if failed > 0 {

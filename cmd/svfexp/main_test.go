@@ -1,0 +1,183 @@
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// svfexpBin is the binary built once by TestMain for the CLI-level tests.
+var svfexpBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "svfexp-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	svfexpBin = filepath.Join(dir, "svfexp")
+	out, err := exec.Command("go", "build", "-o", svfexpBin, ".").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building svfexp: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// runSvfexp executes the built binary and returns stdout, stderr and the
+// exit code.
+func runSvfexp(t *testing.T, args ...string) (string, string, int) {
+	t.Helper()
+	cmd := exec.Command(svfexpBin, args...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("svfexp %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return stdout.String(), stderr.String(), code
+}
+
+// normalize strips run-to-run noise from svfexp output so two invocations
+// of the same suite compare equal: per-experiment wall-clock timings and
+// the journal status lines.
+func normalize(s string) string {
+	var out []string
+	timing := regexp.MustCompile(`, [0-9.]+s\)`)
+	for _, line := range strings.Split(s, "\n") {
+		if strings.HasPrefix(line, "journal:") {
+			continue
+		}
+		out = append(out, timing.ReplaceAllString(line, ")"))
+	}
+	return strings.Join(out, "\n")
+}
+
+// Satellite: a clean run under -on-fault=continue prints results and
+// nothing else — no fault summary, no stray stderr.
+func TestCleanRunPrintsNoFaultSummary(t *testing.T) {
+	stdout, stderr, code := runSvfexp(t, "-exp", "table1", "-on-fault=continue")
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("clean run wrote to stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stdout, "Table 1") {
+		t.Errorf("stdout missing the table:\n%s", stdout)
+	}
+	if strings.Contains(stdout, "fault") || strings.Contains(stderr, "fault") {
+		t.Error("clean run mentioned faults")
+	}
+}
+
+// A journal directory with records refuses to run without -resume, so a
+// forgotten flag cannot silently fork a campaign.
+func TestJournalWithoutResumeFails(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "fig5", "-insts", "2000", "-traffic", "2000", "-journal", dir}
+	if _, stderr, code := runSvfexp(t, args...); code != 0 {
+		t.Fatalf("first journaled run failed (%d):\n%s", code, stderr)
+	}
+	_, stderr, code := runSvfexp(t, args...)
+	if code != 2 {
+		t.Fatalf("re-run without -resume: exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-resume") {
+		t.Errorf("error does not tell the user about -resume:\n%s", stderr)
+	}
+}
+
+// Tentpole end-to-end drill: a campaign killed mid-write (exit 137, as by
+// kill -9) resumes from its journal and produces output identical to an
+// uninterrupted run.
+func TestJournalKillResume(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{"-exp", "fig5", "-insts", "3000", "-traffic", "3000", "-parallel", "2"}
+
+	// Session 1: the injected kill lands inside the 7th journal append.
+	args := append([]string{}, common...)
+	args = append(args, "-journal", dir, "-inject", "kill-mid-write=7,seed=3")
+	_, stderr, code := runSvfexp(t, args...)
+	if code != 137 {
+		t.Fatalf("killed run: exit code = %d, want 137; stderr:\n%s", code, stderr)
+	}
+
+	// Session 2: resume completes the campaign.
+	args = append([]string{}, common...)
+	args = append(args, "-journal", dir, "-resume")
+	resumed, stderr, code := runSvfexp(t, args...)
+	if code != 0 {
+		t.Fatalf("resumed run: exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("resumed run wrote to stderr:\n%s", stderr)
+	}
+	if !strings.Contains(resumed, "restored") {
+		t.Errorf("resume did not report restored cells:\n%s", resumed)
+	}
+	if !strings.Contains(resumed, "re-executed this run") {
+		t.Errorf("resume did not report the journal status line:\n%s", resumed)
+	}
+
+	// Reference: the same suite, uninterrupted and journal-less.
+	clean, stderr, code := runSvfexp(t, common...)
+	if code != 0 {
+		t.Fatalf("clean run: exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if got, want := normalize(resumed), normalize(clean); got != want {
+		t.Errorf("resumed output differs from an uninterrupted run\n--- resumed ---\n%s\n--- clean ---\n%s", got, want)
+	}
+}
+
+// A completed campaign resumes as pure replay: zero simulations.
+func TestJournalResumeServesEverythingFromDisk(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{"-exp", "fig5", "-insts", "2000", "-traffic", "2000"}
+	args := append(append([]string{}, common...), "-journal", dir)
+	first, stderr, code := runSvfexp(t, args...)
+	if code != 0 {
+		t.Fatalf("first run: exit code = %d, stderr:\n%s", code, stderr)
+	}
+	args = append(append([]string{}, common...), "-journal", dir, "-resume", "-cache-stats")
+	second, stderr, code := runSvfexp(t, args...)
+	if code != 0 {
+		t.Fatalf("resume: exit code = %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(second, "0 simulated") {
+		t.Errorf("full resume still simulated:\n%s", second)
+	}
+	if !strings.Contains(second, "0 re-executed this run") {
+		t.Errorf("journal status line should report zero re-executions:\n%s", second)
+	}
+	// Same table either way.
+	if !strings.Contains(normalize(second), extractSection(t, normalize(first), "fig5")) {
+		t.Errorf("restored table differs\n--- first ---\n%s\n--- resumed ---\n%s", first, second)
+	}
+}
+
+// extractSection returns the "=== name ..." section of svfexp output.
+func extractSection(t *testing.T, out, name string) string {
+	t.Helper()
+	marker := "=== " + name
+	i := strings.Index(out, marker)
+	if i < 0 {
+		t.Fatalf("output has no %q section:\n%s", name, out)
+	}
+	rest := out[i:]
+	if j := strings.Index(rest[3:], "==="); j >= 0 {
+		rest = rest[:j+3]
+	}
+	return rest
+}

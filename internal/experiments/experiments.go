@@ -77,7 +77,11 @@ type Config struct {
 	// options) pairs — within one figure, across figures, or between a
 	// figure and the scorecard — simulate exactly once. Nil selects the
 	// process-wide shared cache (sim.SharedCache()); use sim.NewRunCache()
-	// for an isolated one (benchmarks do, to keep timings honest).
+	// for an isolated one (benchmarks do, to keep timings honest). A
+	// cache built with sim.NewRunCacheWithJournal makes the suite loop
+	// consult cells restored from a previous process: completed cells are
+	// served from disk, faulted ones re-execute under the persistent
+	// retry budget, and latched cells degrade like any other cell fault.
 	Cache *sim.RunCache
 	// Ctx cancels the whole suite: when it is done, in-flight simulations
 	// stop at their next poll point and the suite returns the context's
@@ -228,9 +232,16 @@ func (c Config) characterize(ctx context.Context, prof *synth.Profile, maxInsts 
 
 // record logs a cell failure. Suite cancellation is not a fault — the user
 // asked the work to stop — so it is never recorded; per-run deadline
-// expiries are.
+// expiries are. Cells the journal has latched as permanently failed are
+// also skipped: they were fed to the log once, as replayed faults, when the
+// campaign was restored (FaultLog.AddReplayed), and a latched cell may be
+// consulted by several experiments in one suite.
 func (c Config) record(err error) {
 	if err == nil || c.Faults == nil || isCancellation(err) {
+		return
+	}
+	var latched *sim.LatchedError
+	if errors.As(err, &latched) {
 		return
 	}
 	c.Faults.Add(err)

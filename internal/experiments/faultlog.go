@@ -10,15 +10,21 @@ import (
 // caller (svfexp, tests) can report what degraded even when every
 // experiment "succeeded" under FaultContinue. It is safe for concurrent
 // use; suite cancellation is never recorded (see Config.record).
+//
+// A resumed campaign seeds the log with the fault records replayed from
+// its journal (AddReplayed) — typically cells latched as permanently
+// failed in an earlier session — so the final summary accounts for every
+// degraded cell, not just the ones that broke in this process.
 type FaultLog struct {
-	mu     sync.Mutex
-	faults []error
+	mu       sync.Mutex
+	faults   []error
+	replayed []error
 }
 
 // NewFaultLog returns an empty log.
 func NewFaultLog() *FaultLog { return &FaultLog{} }
 
-// Add records one failure. Nil errors are ignored.
+// Add records one failure from this session. Nil errors are ignored.
 func (l *FaultLog) Add(err error) {
 	if l == nil || err == nil {
 		return
@@ -28,40 +34,72 @@ func (l *FaultLog) Add(err error) {
 	l.mu.Unlock()
 }
 
-// Len returns the number of recorded failures.
+// AddReplayed records a failure restored from a campaign journal; the
+// summary labels it so an old, already-reported fault is not mistaken for
+// a fresh one.
+func (l *FaultLog) AddReplayed(err error) {
+	if l == nil || err == nil {
+		return
+	}
+	l.mu.Lock()
+	l.replayed = append(l.replayed, err)
+	l.mu.Unlock()
+}
+
+// Len returns the number of recorded failures, fresh and replayed.
 func (l *FaultLog) Len() int {
 	if l == nil {
 		return 0
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.faults)
+	return len(l.faults) + len(l.replayed)
 }
 
-// All returns a snapshot of the recorded failures in arrival order.
+// All returns a snapshot of the recorded failures: fresh faults in arrival
+// order, then replayed ones.
 func (l *FaultLog) All() []error {
 	if l == nil {
 		return nil
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	out := make([]error, len(l.faults))
-	copy(out, l.faults)
+	out := make([]error, 0, len(l.faults)+len(l.replayed))
+	out = append(out, l.faults...)
+	out = append(out, l.replayed...)
 	return out
 }
 
 // Summary renders the multi-line fault report svfexp prints after a
-// degraded suite: a headline count, then one line per fault. Empty when
-// nothing failed.
+// degraded suite: a headline count, then one line per fault, with faults
+// replayed from a journal labelled as such. Empty when nothing failed.
 func (l *FaultLog) Summary() string {
-	faults := l.All()
-	if len(faults) == 0 {
+	if l == nil {
+		return ""
+	}
+	l.mu.Lock()
+	fresh := make([]error, len(l.faults))
+	copy(fresh, l.faults)
+	replayed := make([]error, len(l.replayed))
+	copy(replayed, l.replayed)
+	l.mu.Unlock()
+	if len(fresh)+len(replayed) == 0 {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "%d simulation fault(s):\n", len(faults))
-	for i, err := range faults {
-		fmt.Fprintf(&b, "  [%d] %v\n", i+1, err)
+	if len(replayed) > 0 {
+		fmt.Fprintf(&b, "%d simulation fault(s) (%d replayed from journal):\n", len(fresh)+len(replayed), len(replayed))
+	} else {
+		fmt.Fprintf(&b, "%d simulation fault(s):\n", len(fresh))
+	}
+	n := 0
+	for _, err := range fresh {
+		n++
+		fmt.Fprintf(&b, "  [%d] %v\n", n, err)
+	}
+	for _, err := range replayed {
+		n++
+		fmt.Fprintf(&b, "  [%d] (replayed) %v\n", n, err)
 	}
 	return b.String()
 }

@@ -3,7 +3,10 @@
 // data-level and scheduler-level faults — corrupted trace records,
 // premature stream EOF, an artificial panic at a chosen cycle, stalled
 // completion events — that the sim and pipeline layers apply to matching
-// runs when the plan is attached to sim.Options.FaultPlan.
+// runs when the plan is attached to sim.Options.FaultPlan, plus two
+// storage-level faults (kill-mid-write, journal-torn-tail) that the
+// campaign journal (internal/journal) applies to its own append path to
+// rehearse crash recovery.
 //
 // Every choice a plan makes is derived from its Seed with math/rand, and
 // the generator is advanced only when a fault actually fires, so the same
@@ -48,14 +51,48 @@ type Plan struct {
 	// CorruptEvery, when non-zero, corrupts every Nth trace record
 	// (fields and bit patterns chosen from Seed).
 	CorruptEvery uint64
+	// JournalKillWrite, when non-zero, simulates a `kill -9` landing in
+	// the middle of the Nth campaign-journal append: only a seeded
+	// prefix of the record's bytes reaches the file before the journal
+	// declares the process dead. Spec key: kill-mid-write.
+	JournalKillWrite uint64
+	// JournalTornTail, when non-zero, simulates a crash immediately
+	// after the Nth campaign-journal append by tearing a seeded number
+	// of bytes off the freshly written record. Spec key:
+	// journal-torn-tail.
+	JournalTornTail uint64
 }
 
-// Active reports whether the plan injects anything at all.
+// Active reports whether the plan injects simulation-level faults. The
+// journal-level faults (JournalKillWrite, JournalTornTail) are deliberately
+// excluded: they target the campaign journal, not the machine model, so a
+// journal-only plan must not push runs onto the cache-bypassing injection
+// path.
 func (p *Plan) Active() bool {
 	if p == nil {
 		return false
 	}
 	return p.PanicCycle != 0 || p.StallCycle != 0 || p.EOFAfter != 0 || p.CorruptEvery != 0
+}
+
+// JournalActive reports whether the plan injects campaign-journal faults.
+func (p *Plan) JournalActive() bool {
+	if p == nil {
+		return false
+	}
+	return p.JournalKillWrite != 0 || p.JournalTornTail != 0
+}
+
+// JournalKillAt reports whether the plan's simulated kill -9 lands inside
+// the seq'th journal append (1-based).
+func (p *Plan) JournalKillAt(seq uint64) bool {
+	return p != nil && p.JournalKillWrite != 0 && p.JournalKillWrite == seq
+}
+
+// JournalTearAt reports whether the plan tears the tail off the journal
+// right after the seq'th append (1-based).
+func (p *Plan) JournalTearAt(seq uint64) bool {
+	return p != nil && p.JournalTornTail != 0 && p.JournalTornTail == seq
 }
 
 // Matches reports whether the plan applies to the named workload.
@@ -84,6 +121,8 @@ func (p *Plan) String() string {
 	add("stall", p.StallCycle)
 	add("eof", p.EOFAfter)
 	add("corrupt", p.CorruptEvery)
+	add("kill-mid-write", p.JournalKillWrite)
+	add("journal-torn-tail", p.JournalTornTail)
 	if p.Seed != 0 {
 		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
 	}
@@ -93,7 +132,9 @@ func (p *Plan) String() string {
 
 // Parse builds a plan from a comma-separated key=value spec, e.g.
 // "bench=176.gcc,panic=50000,seed=7". Keys: bench, panic (cycle), stall
-// (cycle), eof (instructions), corrupt (record period), seed.
+// (cycle), eof (instructions), corrupt (record period), kill-mid-write
+// (journal append ordinal), journal-torn-tail (journal append ordinal),
+// seed.
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{}
 	if strings.TrimSpace(spec) == "" {
@@ -121,10 +162,14 @@ func Parse(spec string) (*Plan, error) {
 			p.EOFAfter = n
 		case "corrupt":
 			p.CorruptEvery = n
+		case "kill-mid-write":
+			p.JournalKillWrite = n
+		case "journal-torn-tail":
+			p.JournalTornTail = n
 		case "seed":
 			p.Seed = int64(n)
 		default:
-			return nil, fmt.Errorf("faultinject: unknown key %q (want bench, panic, stall, eof, corrupt, seed)", k)
+			return nil, fmt.Errorf("faultinject: unknown key %q (want bench, panic, stall, eof, corrupt, kill-mid-write, journal-torn-tail, seed)", k)
 		}
 	}
 	return p, nil

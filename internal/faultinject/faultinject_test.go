@@ -134,3 +134,53 @@ func TestCorruptAlwaysChangesTheRecord(t *testing.T) {
 		}
 	}
 }
+
+func TestParseJournalFaults(t *testing.T) {
+	p, err := Parse("kill-mid-write=7,journal-torn-tail=3,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{Seed: 11, JournalKillWrite: 7, JournalTornTail: 3}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	again, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(again, p) {
+		t.Errorf("String round trip changed the plan: %+v vs %+v", again, p)
+	}
+}
+
+// Journal-level faults must not make a plan Active: Active gates the
+// cache-bypassing simulation-injection path, and a journal-only plan
+// targets storage, not the machine model.
+func TestJournalFaultsDoNotActivateSimInjection(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.JournalActive() || nilPlan.JournalKillAt(1) || nilPlan.JournalTearAt(1) {
+		t.Error("nil plan must be journal-inert")
+	}
+	p := &Plan{JournalKillWrite: 7}
+	if p.Active() {
+		t.Error("a journal-only plan must not activate simulation injection")
+	}
+	if !p.JournalActive() {
+		t.Error("JournalActive must see kill-mid-write")
+	}
+	if !p.JournalKillAt(7) || p.JournalKillAt(6) || p.JournalKillAt(8) {
+		t.Error("JournalKillAt must fire exactly on the configured append")
+	}
+	q := &Plan{JournalTornTail: 2}
+	if q.Active() || !q.JournalActive() {
+		t.Error("torn-tail plan: Active/JournalActive wrong")
+	}
+	if !q.JournalTearAt(2) || q.JournalTearAt(1) {
+		t.Error("JournalTearAt must fire exactly on the configured append")
+	}
+	// A combined plan is both: sim faults inject, journal faults crash.
+	b := &Plan{PanicCycle: 5, JournalKillWrite: 1}
+	if !b.Active() || !b.JournalActive() {
+		t.Error("combined plan must be active on both levels")
+	}
+}

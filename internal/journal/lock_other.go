@@ -1,0 +1,11 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// Non-unix platforms get no advisory locking: the journal still works, but
+// two processes sharing one directory are the operator's responsibility.
+func lockFile(f *os.File) error { return nil }
+
+func unlockFile(f *os.File) {}

@@ -1,0 +1,21 @@
+//go:build unix
+
+package journal
+
+import (
+	"os"
+	"syscall"
+)
+
+// lockFile takes an exclusive, non-blocking advisory flock on f. A second
+// holder — another process, or another fd in this one — gets EWOULDBLOCK,
+// which Open reports as ErrLocked.
+func lockFile(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+}
+
+// unlockFile releases the flock (closing the fd would too; explicit keeps
+// the teardown order obvious).
+func unlockFile(f *os.File) {
+	syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

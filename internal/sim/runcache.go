@@ -2,11 +2,13 @@ package sim
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"sync"
 	"time"
 
+	"svf/internal/journal"
 	"svf/internal/pipeline"
 	"svf/internal/stats"
 	"svf/internal/synth"
@@ -29,11 +31,18 @@ import (
 //
 // Failure policy: faults are never cached. A failed execution's entry is
 // dropped, and when the failure is a contained *Fault the cache re-executes
-// once (bounded retry) before declaring the run failed — a transient fault
-// costs one extra simulation, a deterministic one fails twice and is
-// reported. Fault-injected runs (Options.FaultPlan matching the workload)
-// bypass the cache entirely, so an injected result can never be cached for
-// — or served to — a clean request.
+// (bounded retry, SetRetries; default once) before declaring the run failed
+// — a transient fault costs extra simulations, a deterministic one exhausts
+// the budget and is reported. Fault-injected runs (Options.FaultPlan
+// matching the workload) bypass the cache entirely, so an injected result
+// can never be cached for — or served to — a clean request.
+//
+// A cache built with NewRunCacheWithJournal additionally persists every
+// completed cell to an on-disk journal and starts warm from the journal's
+// replay, so sweeps survive process death: completed cells are served from
+// disk, faulted cells re-execute with their prior attempts counted against
+// the retry budget (with capped, seeded-jitter exponential backoff), and
+// cells whose budget is exhausted are latched as permanently failed.
 //
 // Results accumulate for the cache's lifetime; use a fresh cache per sweep
 // when memory matters more than reuse.
@@ -46,15 +55,34 @@ type RunCache struct {
 	// runFn, when non-nil, replaces RunContext for timing runs — a test
 	// seam for exercising retry accounting deterministically.
 	runFn func(context.Context, *synth.Profile, Options) (*Result, error)
+
+	// jb is the durable backend (nil for plain in-memory caches) and
+	// restore what its replay put back. See journal.go.
+	jb      *journalBackend
+	restore RestoreStats
+
+	// retries is the per-cell re-execution budget after the first
+	// failure; retriesSet distinguishes an explicit 0 from the default.
+	retries    int
+	retriesSet bool
+
+	// Backoff policy for journaled retries (journal.go).
+	backoffBase, backoffCap time.Duration
+	backoffSeed             int64
+	sleep                   func(context.Context, time.Duration) error
 }
 
-// cacheCounters are the cache's event counters (internal/stats).
+// cacheCounters are the cache's event counters (internal/stats). Every
+// counter is atomic: the single-flight path bumps them from whichever
+// caller goroutine executes or joins a cell, so `-cache-stats` stays exact
+// under arbitrary concurrency (see TestRunCacheCountersExactUnderConcurrency).
 type cacheCounters struct {
 	hits     stats.Counter // served from a completed entry
 	shared   stats.Counter // joined an in-flight simulation
 	misses   stats.Counter // simulations actually executed
 	errors   stats.Counter // execution attempts that failed (entry dropped)
 	retries  stats.Counter // bounded re-executions after a contained fault
+	latched  stats.Counter // requests refused because the cell is latched permanently failed
 	simNanos stats.Counter // wall-clock nanoseconds spent executing
 }
 
@@ -88,26 +116,63 @@ func Canonical(opt Options) Options {
 	return opt
 }
 
-// retryFault runs fn, re-executing once when the failure is a contained
-// *Fault and the context is still alive. Every failed attempt counts in
-// cnt.errors; the re-execution counts in cnt.retries. Cancellation and
-// configuration errors are not retried — they would fail identically.
-func retryFault[V any](ctx context.Context, cnt *cacheCounters, fn func() (V, error)) (V, error) {
-	v, err := fn()
-	if err == nil {
-		return v, nil
+// cacheExec runs fn under the cache's bounded-retry supervision: a
+// contained *Fault is re-executed until the attempt budget (SetRetries+1
+// total executions) is spent, then reported. Cancellation and configuration
+// errors are never retried — they would fail identically. Every failed
+// attempt counts in cnt.errors; every re-execution in cnt.retries.
+//
+// When the cache is journaled and key is non-empty, supervision is durable:
+// prior attempts replayed from the journal count against the budget, each
+// retry waits out the cell's seeded exponential backoff, every failure is
+// appended as a fault record (the final one latched permanent), and a
+// success is appended via record so a later process restores it from disk.
+func cacheExec[V any](ctx context.Context, c *RunCache, key, bench string, fn func() (V, error), record func(V) (journal.Record, error)) (V, error) {
+	journaled := c.jb != nil && key != ""
+	budget := c.attemptBudget()
+	var attempts uint32
+	if journaled {
+		if attempts = c.jb.priorAttempts(key); attempts >= budget {
+			// A pending (non-permanent) fault record always owes the
+			// cell one more execution, even if -retries shrank.
+			attempts = budget - 1
+		}
 	}
-	cnt.errors.Inc()
-	var f *Fault
-	if !errors.As(err, &f) || ctx.Err() != nil {
-		return v, err
+	for {
+		if attempts > 0 {
+			// This execution is a retry — of a failure earlier in this
+			// loop, or of a fault replayed from the journal.
+			if journaled {
+				if err := c.sleepBackoff(ctx, key, attempts); err != nil {
+					var zero V
+					return zero, err
+				}
+			}
+			c.cnt.retries.Inc()
+		}
+		v, err := fn()
+		if err == nil {
+			if journaled && record != nil {
+				if rec, rerr := record(v); rerr == nil {
+					c.jb.success(rec)
+				}
+			}
+			return v, nil
+		}
+		c.cnt.errors.Inc()
+		var f *Fault
+		if !errors.As(err, &f) || ctx.Err() != nil {
+			return v, err
+		}
+		attempts++
+		permanent := attempts >= budget
+		if journaled {
+			c.jb.fault(key, bench, attempts, permanent, err)
+		}
+		if permanent {
+			return v, err
+		}
 	}
-	cnt.retries.Inc()
-	v, err = fn()
-	if err != nil {
-		cnt.errors.Inc()
-	}
-	return v, err
 }
 
 // Run returns the memoized Result of RunContext(ctx, prof, opt), executing
@@ -134,9 +199,23 @@ func (c *RunCache) Run(ctx context.Context, prof *synth.Profile, opt Options) (*
 		return res, err
 	}
 	key := runKey{prof.Fingerprint(), Canonical(opt)}
+	var skey string
+	if c.jb != nil {
+		skey = runJournalKey(key)
+		if gerr := c.jb.gate(skey, c.attemptBudget()); gerr != nil {
+			c.cnt.latched.Inc()
+			return nil, gerr
+		}
+	}
 	res, err := c.runs.do(ctx, key, &c.cnt, func() (*Result, error) {
-		return retryFault(ctx, &c.cnt, func() (*Result, error) {
+		return cacheExec(ctx, c, skey, prof.ID(), func() (*Result, error) {
 			return run(ctx, prof, opt)
+		}, func(r *Result) (journal.Record, error) {
+			data, err := json.Marshal(runPayload{Prof: key.prof, Opt: key.opt, Res: r})
+			if err != nil {
+				return journal.Record{}, err
+			}
+			return journal.Record{Kind: recKindRun, Key: skey, Data: data}, nil
 		})
 	})
 	return cloneResult(res), err
@@ -159,10 +238,28 @@ func (c *RunCache) Traffic(ctx context.Context, prof *synth.Profile, policy pipe
 		ctx = context.Background()
 	}
 	key := trafficKey{prof.Fingerprint(), policy, sizeBytes, maxInsts, ctxPeriod}
+	var skey string
+	if c.jb != nil {
+		skey = trafficJournalKey(key)
+		if gerr := c.jb.gate(skey, c.attemptBudget()); gerr != nil {
+			c.cnt.latched.Inc()
+			return 0, 0, 0, gerr
+		}
+	}
 	v, err := c.traffic.do(ctx, key, &c.cnt, func() (trafficVal, error) {
-		return retryFault(ctx, &c.cnt, func() (trafficVal, error) {
+		return cacheExec(ctx, c, skey, prof.ID(), func() (trafficVal, error) {
 			in, out, cb, err := TrafficOnly(ctx, prof, policy, sizeBytes, maxInsts, ctxPeriod)
 			return trafficVal{in, out, cb}, err
+		}, func(v trafficVal) (journal.Record, error) {
+			data, err := json.Marshal(trafficPayload{
+				Prof: key.prof, Policy: key.policy, SizeBytes: key.sizeBytes,
+				MaxInsts: key.maxInsts, CtxPeriod: key.ctxPeriod,
+				In: v.in, Out: v.out, CtxBytes: v.ctx,
+			})
+			if err != nil {
+				return journal.Record{}, err
+			}
+			return journal.Record{Kind: recKindTraffic, Key: skey, Data: data}, nil
 		})
 	})
 	return v.in, v.out, v.ctx, err
@@ -184,13 +281,15 @@ func (c *RunCache) Characterize(ctx context.Context, prof *synth.Profile, maxIns
 	}
 	key := charKey{prof.Fingerprint(), maxInsts}
 	return c.char.do(ctx, key, &c.cnt, func() (*synth.Characterization, error) {
-		return retryFault(ctx, &c.cnt, func() (*synth.Characterization, error) {
+		// Characterisations are not journaled (empty key): cheap,
+		// deterministic functional passes that simply recompute on resume.
+		return cacheExec(ctx, c, "", prof.ID(), func() (*synth.Characterization, error) {
 			prog, err := ProgramFor(prof)
 			if err != nil {
 				return nil, err
 			}
 			return synth.Characterize(synth.NewGeneratorFor(prog), prog.Layout, maxInsts), nil
-		})
+		}, nil)
 	})
 }
 
@@ -228,6 +327,9 @@ type CacheStats struct {
 	// re-executions taken after a contained fault (each retry that fails
 	// again also counts in Errors).
 	Errors, Retries uint64
+	// Latched counts requests refused without execution because the
+	// journal has the cell latched as permanently failed.
+	Latched uint64
 	// Entries is the number of resident results across all three kinds
 	// (timing runs, traffic runs, characterisations).
 	Entries int
@@ -244,6 +346,7 @@ func (c *RunCache) Stats() CacheStats {
 		Misses:  c.cnt.misses.Load(),
 		Errors:  c.cnt.errors.Load(),
 		Retries: c.cnt.retries.Load(),
+		Latched: c.cnt.latched.Load(),
 		Entries: c.runs.len() + c.traffic.len() + c.char.len(),
 		SimTime: time.Duration(c.cnt.simNanos.Load()),
 	}
@@ -254,15 +357,19 @@ func (s CacheStats) Requests() uint64 { return s.Hits + s.Shared + s.Misses }
 
 // String renders the one-line summary printed by `svfexp -cache-stats`.
 func (s CacheStats) String() string {
-	return fmt.Sprintf("run cache: %d requests → %d simulated, %d hits, %d deduped in flight, %d errors (%d retried); %d entries; %s simulating",
+	out := fmt.Sprintf("run cache: %d requests → %d simulated, %d hits, %d deduped in flight, %d errors (%d retried); %d entries; %s simulating",
 		s.Requests(), s.Misses, s.Hits, s.Shared, s.Errors, s.Retries, s.Entries, s.SimTime.Round(time.Millisecond))
+	if s.Latched > 0 {
+		out += fmt.Sprintf("; %d refused (latched permanent)", s.Latched)
+	}
+	return out
 }
 
 // Table renders the stats in the report-table form the experiment harnesses
 // use everywhere else.
 func (s CacheStats) Table() *stats.Table {
-	t := stats.NewTable("requests", "simulated", "hits", "deduped", "errors", "retries", "entries", "sim time")
-	t.AddRow(s.Requests(), s.Misses, s.Hits, s.Shared, s.Errors, s.Retries, s.Entries, s.SimTime.Round(time.Millisecond).String())
+	t := stats.NewTable("requests", "simulated", "hits", "deduped", "errors", "retries", "latched", "entries", "sim time")
+	t.AddRow(s.Requests(), s.Misses, s.Hits, s.Shared, s.Errors, s.Retries, s.Latched, s.Entries, s.SimTime.Round(time.Millisecond).String())
 	return t
 }
 
@@ -335,4 +442,21 @@ func (g *flightGroup[K, V]) len() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return len(g.m)
+}
+
+// seed installs an already-completed entry (a cell restored from the
+// journal). Requests for it are ordinary hits. An existing entry wins: a
+// live execution is at least as fresh as a replayed record.
+func (g *flightGroup[K, V]) seed(key K, val V) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[K]*flight[V])
+	}
+	if _, ok := g.m[key]; ok {
+		return
+	}
+	f := &flight[V]{done: make(chan struct{}), val: val}
+	close(f.done)
+	g.m[key] = f
 }

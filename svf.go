@@ -35,6 +35,7 @@ import (
 	"svf/internal/experiments"
 	"svf/internal/faultinject"
 	"svf/internal/isa"
+	"svf/internal/journal"
 	"svf/internal/pipeline"
 	"svf/internal/regions"
 	"svf/internal/sim"
@@ -221,6 +222,38 @@ func NewRunCache() *RunCache { return sim.NewRunCache() }
 //
 //	r, err := svf.SharedRunCache().Run(prof, opt)
 func SharedRunCache() *RunCache { return sim.SharedCache() }
+
+// Journal is a crash-safe, append-only on-disk campaign journal; pair it
+// with NewJournaledRunCache for sweeps that survive process death (the
+// svfexp -journal / -resume machinery). See DESIGN.md §5d.
+type Journal = journal.Journal
+
+// JournalReplay is what OpenJournal found in an existing journal.
+type JournalReplay = journal.Replay
+
+// OpenJournal opens (creating if needed) the campaign journal in dir,
+// repairing any crash-torn tail and refusing a directory another process
+// holds open.
+func OpenJournal(dir string) (*Journal, *JournalReplay, error) {
+	return journal.Open(dir, journal.Options{})
+}
+
+// NewJournaledRunCache returns a run cache that persists every completed
+// cell to j and starts warm from the replay: completed cells are served
+// from disk without re-executing, and faulted cells resume with their
+// prior attempts counted against the cache's retry budget (SetRetries).
+func NewJournaledRunCache(j *Journal, rep *JournalReplay) (*RunCache, RunCacheRestoreStats) {
+	return sim.NewRunCacheWithJournal(j, rep)
+}
+
+// RunCacheRestoreStats summarises what a journal replay put back into a
+// run cache.
+type RunCacheRestoreStats = sim.RestoreStats
+
+// LatchedError reports a campaign cell whose retry budget was exhausted in
+// this or a previous session; the journal serves the failure instead of
+// re-executing. Use errors.As to extract it.
+type LatchedError = sim.LatchedError
 
 // Experiment result types.
 type (

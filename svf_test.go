@@ -245,3 +245,46 @@ func ExampleStackTraffic() {
 	fmt.Println(svfIn*5 < scIn) // the SVF fills far fewer quadwords
 	// Output: true
 }
+
+func TestPublicAPIJournaledCampaign(t *testing.T) {
+	dir := t.TempDir()
+	prof := svf.ByName("175.vpr")
+	opt := svf.Options{MaxInsts: 20_000}
+
+	j, rep, err := svf.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, restored := svf.NewJournaledRunCache(j, rep)
+	if restored.Restored() != 0 {
+		t.Fatalf("fresh journal restored %d cells", restored.Restored())
+	}
+	first, err := c.Run(nil, prof, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, rep2, err := svf.OpenJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	c2, restored2 := svf.NewJournaledRunCache(j2, rep2)
+	if restored2.Runs != 1 {
+		t.Fatalf("restore stats = %+v, want the completed run", restored2)
+	}
+	again, err := c2.Run(nil, prof, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Pipe.Cycles != first.Pipe.Cycles || again.Pipe.Committed != first.Pipe.Committed {
+		t.Errorf("restored run differs: %d/%d cycles, %d/%d committed",
+			again.Pipe.Cycles, first.Pipe.Cycles, again.Pipe.Committed, first.Pipe.Committed)
+	}
+	if st := c2.Stats(); st.Misses != 0 {
+		t.Errorf("restored cell simulated (%+v)", st)
+	}
+}
