@@ -10,6 +10,12 @@
 // Each -baseline flag records a reference insts/sec figure (for this repo:
 // the pre-event-driven-scheduler measurement on the same machine), and the
 // output includes the speedup of the current run against it.
+//
+// -history FILE additionally appends the run, stamped with the current UTC
+// time, to a JSON array of past runs: BENCH.json stays the latest
+// measurement, BENCH_HISTORY.json (the conventional name) accumulates the
+// trajectory so speedups and regressions are trackable across commits. A
+// missing or empty history file starts a new array.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // benchResult is one parsed benchmark line.
@@ -44,6 +51,13 @@ type benchFile struct {
 	Benchmarks []benchResult `json:"benchmarks"`
 }
 
+// historyEntry is one element of the BENCH_HISTORY.json array: a benchFile
+// stamped with when it was measured.
+type historyEntry struct {
+	TS string `json:"ts"`
+	benchFile
+}
+
 // baselines collects repeated -baseline name=insts/sec flags.
 type baselines map[string]float64
 
@@ -64,6 +78,7 @@ func (b baselines) Set(s string) error {
 
 func main() {
 	out := flag.String("o", "BENCH.json", "output file (- for stdout)")
+	history := flag.String("history", "", "also append this run, timestamped, to a JSON-array history file (e.g. BENCH_HISTORY.json)")
 	base := baselines{}
 	flag.Var(base, "baseline", "reference insts/sec as name=value (repeatable); adds speedup_vs_baseline")
 	flag.Parse()
@@ -85,12 +100,39 @@ func main() {
 	buf = append(buf, '\n')
 	if *out == "-" {
 		os.Stdout.Write(buf)
-		return
-	}
-	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+	} else if err := os.WriteFile(*out, buf, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *history != "" {
+		if err := appendHistory(*history, doc, time.Now().UTC()); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -history: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// appendHistory adds doc, stamped with now, to the JSON array in path. A
+// missing or empty file starts a new array; a file holding anything other
+// than a history array is an error, not silently overwritten.
+func appendHistory(path string, doc *benchFile, now time.Time) error {
+	var hist []historyEntry
+	raw, err := os.ReadFile(path)
+	switch {
+	case os.IsNotExist(err):
+	case err != nil:
+		return err
+	case len(strings.TrimSpace(string(raw))) > 0:
+		if err := json.Unmarshal(raw, &hist); err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+	}
+	hist = append(hist, historyEntry{TS: now.Format(time.RFC3339), benchFile: *doc})
+	buf, err := json.MarshalIndent(hist, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // parse reads `go test -bench` output: context lines (goos/goarch/pkg/cpu)

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: svf/internal/pipeline
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkPipelineRaw-8   	      30	  21681424 ns/op	   9224507 insts/sec
+BenchmarkPipelineRawBaseline-8   	      30	  28049531 ns/op	   7130251 insts/sec
+PASS
+ok  	svf/internal/pipeline	2.1s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	doc, err := parse(strings.NewReader(sampleBench), baselines{"BenchmarkPipelineRaw": 2550154})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "svf/internal/pipeline" {
+		t.Errorf("context lines not parsed: %+v", doc)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("got %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkPipelineRaw" || b.Iterations != 30 || b.NsPerOp != 21681424 {
+		t.Errorf("first benchmark misparsed: %+v", b)
+	}
+	if got := b.Metrics["insts/sec"]; got != 9224507 {
+		t.Errorf("insts/sec = %v, want 9224507", got)
+	}
+	if b.SpeedupVsBaseline < 3.6 || b.SpeedupVsBaseline > 3.7 {
+		t.Errorf("speedup_vs_baseline = %v, want ~3.62", b.SpeedupVsBaseline)
+	}
+	if doc.Benchmarks[1].SpeedupVsBaseline != 0 {
+		t.Errorf("benchmark without a -baseline flag gained a speedup: %+v", doc.Benchmarks[1])
+	}
+}
+
+func TestAppendHistoryAccumulates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_HISTORY.json")
+	doc, err := parse(strings.NewReader(sampleBench), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t0 := time.Date(2026, 8, 5, 12, 0, 0, 0, time.UTC)
+	if err := appendHistory(path, doc, t0); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendHistory(path, doc, t0.Add(24*time.Hour)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hist []historyEntry
+	if err := json.Unmarshal(raw, &hist); err != nil {
+		t.Fatalf("history is not a JSON array: %v\n%s", err, raw)
+	}
+	if len(hist) != 2 {
+		t.Fatalf("got %d entries, want 2", len(hist))
+	}
+	if hist[0].TS != "2026-08-05T12:00:00Z" || hist[1].TS != "2026-08-06T12:00:00Z" {
+		t.Errorf("timestamps wrong: %q, %q", hist[0].TS, hist[1].TS)
+	}
+	// The benchFile payload must flatten into the entry, not nest.
+	if len(hist[1].Benchmarks) != 2 || hist[1].Benchmarks[0].Name != "BenchmarkPipelineRaw" {
+		t.Errorf("embedded benchmarks misencoded: %+v", hist[1])
+	}
+}
+
+func TestAppendHistoryRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_HISTORY.json")
+	if err := os.WriteFile(path, []byte(`{"not":"an array"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc := &benchFile{Benchmarks: []benchResult{{Name: "B"}}}
+	if err := appendHistory(path, doc, time.Now()); err == nil {
+		t.Fatal("appending over a non-array file did not error")
+	}
+	// The garbage file must survive untouched.
+	raw, _ := os.ReadFile(path)
+	if string(raw) != `{"not":"an array"}` {
+		t.Errorf("history file was clobbered: %s", raw)
+	}
+}

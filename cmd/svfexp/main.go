@@ -40,6 +40,22 @@
 // Fault-injected runs bypass the journal exactly as they bypass the run
 // cache; the journal-level plans (kill-mid-write, journal-torn-tail)
 // instead crash the journal itself deterministically, for recovery drills.
+//
+// Telemetry (DESIGN.md §5e) is off unless asked for, and strictly
+// observational — results are bit-identical either way. -events FILE
+// appends machine-tailable NDJSON lifecycle events (run start/finish,
+// cache hit/restore, fault, retry, backoff, journal flush/restore).
+// -obs-addr HOST:PORT serves Prometheus-text /metrics, JSON /progress
+// (done/total, ETA, fault and latch counts) and /debug/pprof for live
+// sweeps; ":0" picks an ephemeral port, reported as "obs: listening on
+// ADDR", and -obs-linger keeps the listener up after the suite so
+// scripts can scrape a finished campaign. -trace-perfetto FILE runs one
+// extra diagnostic simulation (-trace-bench under the Figure 5 infinite-
+// SVF configuration, -trace-insts instructions) and writes its per-stage
+// instruction timeline as Chrome trace-event JSON for the Perfetto UI.
+// When any of these are active, the suite also prints a one-line
+// telemetry summary next to -cache-stats — on clean, faulted and
+// interrupted exits alike.
 package main
 
 import (
@@ -58,7 +74,10 @@ import (
 	"svf/internal/experiments"
 	"svf/internal/faultinject"
 	"svf/internal/journal"
+	"svf/internal/pipeline"
 	"svf/internal/sim"
+	"svf/internal/synth"
+	"svf/internal/telemetry"
 )
 
 func main() { os.Exit(run()) }
@@ -81,6 +100,12 @@ func run() int {
 	journalDir := flag.String("journal", "", "directory for the crash-safe campaign journal; completed cells persist across process death")
 	resume := flag.Bool("resume", false, "restore the -journal's completed cells instead of starting a fresh campaign")
 	retries := flag.Int("retries", 1, "re-executions allowed per faulted cell (across resumes) before it is latched as permanently failed")
+	eventsPath := flag.String("events", "", "write structured NDJSON run-lifecycle events to this file (see DESIGN.md §5e)")
+	obsAddr := flag.String("obs-addr", "", `HTTP observability listener ("127.0.0.1:0" for an ephemeral port): /metrics, /progress, /debug/pprof`)
+	obsLinger := flag.Duration("obs-linger", 0, "keep the -obs-addr listener serving this long after the suite finishes")
+	tracePerfetto := flag.String("trace-perfetto", "", "write a Chrome trace-event / Perfetto JSON stage timeline of one diagnostic run to this file")
+	traceBench := flag.String("trace-bench", "186.crafty.ref", "benchmark for the -trace-perfetto diagnostic run")
+	traceInsts := flag.Int("trace-insts", 20_000, "instruction budget for the -trace-perfetto diagnostic run")
 	flag.Parse()
 
 	policy, err := experiments.ParseFaultPolicy(*onFault)
@@ -96,6 +121,45 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Telemetry sinks. The event log and the metrics registry/progress
+	// tracker are independent: -events alone still aggregates counters for
+	// the end-of-run summary, -obs-addr alone still serves /metrics with no
+	// log on disk. Everything here is nil when the flags are absent, and
+	// every downstream layer treats nil as "off".
+	var (
+		events    *telemetry.EventLog
+		registry  *telemetry.Registry
+		progress  *telemetry.Progress
+		suiteTime = time.Now()
+	)
+	if *eventsPath != "" {
+		f, err := os.Create(*eventsPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: -events: %v\n", err)
+			return 2
+		}
+		events = telemetry.NewEventLog(f)
+		defer events.Close()
+	}
+	telemetryOn := *eventsPath != "" || *obsAddr != ""
+	if telemetryOn {
+		registry = telemetry.NewRegistry()
+		progress = telemetry.NewProgress()
+	}
+	if *obsAddr != "" {
+		srv := &telemetry.Server{Registry: registry, Progress: progress}
+		addr, err := srv.Listen(*obsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: -obs-addr: %v\n", err)
+			return 2
+		}
+		defer srv.Close()
+		// Scripts (and the CI smoke test) discover the ephemeral port from
+		// this line.
+		fmt.Printf("obs: listening on %s\n", addr)
+	}
+	events.Emit(telemetry.Event{Type: "campaign_start", Detail: strings.Join(os.Args[1:], " ")})
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -151,13 +215,19 @@ func run() int {
 	var jr *journal.Journal
 	var restored sim.RestoreStats
 	if *journalDir != "" {
-		j, rep, err := journal.Open(*journalDir, journal.Options{
+		jopts := journal.Options{
 			Inject: plan,
 			// An injected journal crash must look like process death:
 			// exit with SIGKILL's conventional status, skipping every
 			// cleanup path, so recovery drills rehearse the real thing.
 			OnCrash: func() { os.Exit(137) },
-		})
+		}
+		if events != nil {
+			jopts.OnSync = func(appends, syncBatches uint64) {
+				events.Emit(telemetry.Event{Type: "journal_flush", Records: appends, SyncBatches: syncBatches})
+			}
+		}
+		j, rep, err := journal.Open(*journalDir, jopts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "svfexp: -journal: %v\n", err)
 			return 2
@@ -180,9 +250,15 @@ func run() int {
 		}
 	}
 	cache.SetRetries(*retries)
+	if telemetryOn {
+		// Attached after the journal restore so the observer's opening
+		// journal_restore event reflects what actually came back from disk.
+		cache.SetObserver(&sim.Observer{Events: events, Registry: registry, Progress: progress})
+	}
 	cfg := experiments.Config{
 		MaxInsts: *insts, TrafficInsts: *traffic, Parallel: *parallel, Cache: cache,
 		Ctx: ctx, RunTimeout: *runTimeout, OnFault: policy, Faults: faults, Inject: plan,
+		Progress: progress,
 	}
 
 	want := map[string]bool{}
@@ -305,6 +381,9 @@ func run() int {
 
 	ran, failed := 0, 0
 	for _, f := range fns {
+		if ctx.Err() != nil {
+			break // interrupted: skip straight to the summaries
+		}
 		if (f.name == "sweep" || f.name == "x86" || f.name == "rse" || f.name == "scorecard") && !want[f.name] {
 			continue // opt-in: costly extension experiments
 		}
@@ -312,20 +391,25 @@ func run() int {
 			continue
 		}
 		start := time.Now()
+		events.Emit(telemetry.Event{Type: "experiment_start", Experiment: f.name})
 		out, err := f.run()
+		fin := telemetry.Event{Type: "experiment_finish", Experiment: f.name,
+			DurMS: float64(time.Since(start)) / float64(time.Millisecond)}
 		if err != nil {
 			// Keep going: a failed experiment (or SVG write) must not
 			// discard the results of the rest of the suite.
 			fmt.Fprintf(os.Stderr, "svfexp: %s: %v\n", f.name, err)
 			failed++
+			fin.Err = err.Error()
 		}
+		events.Emit(fin)
 		if out != nil {
 			fmt.Printf("=== %s (%s, %.1fs) ===\n%s\n", f.name, f.title, time.Since(start).Seconds(), out)
 			report.AddSection(f.title, out.String())
 			ran++
 		}
 	}
-	if ran == 0 && failed == 0 {
+	if ran == 0 && failed == 0 && ctx.Err() == nil {
 		fmt.Fprintf(os.Stderr, "svfexp: no experiment matched %q\n", *exp)
 		return 2
 	}
@@ -337,8 +421,21 @@ func run() int {
 			fmt.Printf("wrote %s\n", *htmlOut)
 		}
 	}
+	if *tracePerfetto != "" && ctx.Err() == nil {
+		if err := writePerfettoTrace(ctx, *tracePerfetto, *traceBench, *traceInsts, registry, events); err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: -trace-perfetto: %v\n", err)
+			failed++
+		}
+	}
+
+	// The post-suite accounting prints on every exit path from here on —
+	// clean, degraded and interrupted alike — so a Ctrl-C cannot lose the
+	// counters the journal worked to keep exact.
 	if *cacheStats {
 		fmt.Println(cache.Stats())
+	}
+	if telemetryOn {
+		fmt.Println(telemetrySummary(registry, progress))
 	}
 	if jr != nil {
 		st := cache.Stats()
@@ -350,6 +447,15 @@ func run() int {
 		fmt.Fprint(os.Stderr, "svfexp: "+s)
 	}
 	if ctx.Err() != nil {
+		events.Emit(telemetry.Event{Type: "interrupt", Detail: "suite cancelled by signal"})
+	}
+	events.Emit(telemetry.Event{Type: "campaign_finish",
+		DurMS:  float64(time.Since(suiteTime)) / float64(time.Millisecond),
+		Detail: fmt.Sprintf("%d experiment(s) ran, %d failed", ran, failed)})
+	if err := events.Flush(); err != nil {
+		fmt.Fprintf(os.Stderr, "svfexp: -events: %v\n", err)
+	}
+	if ctx.Err() != nil {
 		if jr != nil {
 			jr.Close() // flush now: the journal must be durable before we report the interrupt
 			fmt.Fprintf(os.Stderr, "svfexp: interrupted (journal flushed; continue with -journal %s -resume)\n", *journalDir)
@@ -358,10 +464,68 @@ func run() int {
 		}
 		return 130
 	}
+	if *obsAddr != "" && *obsLinger > 0 {
+		// Hold the listener up so scripts can scrape a finished campaign's
+		// /metrics and /progress; Ctrl-C ends the linger early without
+		// turning a completed suite into exit 130.
+		fmt.Printf("obs: serving for another %s (Ctrl-C to stop)\n", *obsLinger)
+		select {
+		case <-time.After(*obsLinger):
+		case <-ctx.Done():
+		}
+	}
 	if failed > 0 {
 		return 1
 	}
 	// Contained faults under -on-fault=continue degrade cells to gaps but do
 	// not fail the suite; they were reported above.
 	return 0
+}
+
+// telemetrySummary renders the one-line end-of-run digest of the metrics
+// registry and progress tracker (printed whenever telemetry is enabled).
+func telemetrySummary(reg *telemetry.Registry, prog *telemetry.Progress) string {
+	v := func(name string) uint64 { return reg.Counter(name).Load() }
+	snap := prog.Snapshot()
+	return fmt.Sprintf("telemetry: %d/%d cell(s) done in %.1fs; %d run(s) simulated (%d cycles, %d insts), %d cache hit(s) (%d restored), %d fault(s), %d retried, %d latched",
+		snap.Done, snap.Total, snap.ElapsedSec,
+		v("svf_sim_runs_total"), v("svf_sim_cycles_total"), v("svf_sim_insts_total"),
+		v("svf_cache_hits_total"), v("svf_cache_restored_hits_total"),
+		v("svf_sim_run_faults_total"), v("svf_sim_retries_total"), snap.Latched)
+}
+
+// writePerfettoTrace runs one extra diagnostic simulation — the named
+// benchmark under the Figure 5 configuration (16-wide, infinite SVF,
+// perfect front end) — with the per-stage trace enabled, and writes the
+// timeline as Chrome trace-event JSON the Perfetto UI loads directly.
+func writePerfettoTrace(ctx context.Context, path, bench string, insts int, reg *telemetry.Registry, events *telemetry.EventLog) error {
+	prof := synth.ByName(bench)
+	if prof == nil {
+		return fmt.Errorf("unknown benchmark %q", bench)
+	}
+	tr := telemetry.NewPipelineTrace()
+	probe := telemetry.NewProbe(reg)
+	probe.Trace = tr
+	res, err := sim.RunContext(ctx, prof, sim.Options{
+		Machine: pipeline.SixteenWide(), Policy: pipeline.PolicySVF, SVFInfinite: true,
+		MaxInsts: insts, Probe: probe,
+	})
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := tr.WriteTo(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	events.Emit(telemetry.Event{Type: "trace_written", Bench: res.Bench, Detail: path,
+		Cycles: res.Cycles(), Committed: res.Pipe.Committed, Records: uint64(tr.Events())})
+	fmt.Printf("wrote %s (%d trace events, %d dropped)\n", path, tr.Events(), tr.Dropped())
+	return nil
 }

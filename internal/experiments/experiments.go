@@ -25,6 +25,7 @@ import (
 	"svf/internal/pipeline"
 	"svf/internal/sim"
 	"svf/internal/synth"
+	"svf/internal/telemetry"
 )
 
 // FaultPolicy decides what a suite does when one cell's simulation fails.
@@ -101,6 +102,10 @@ type Config struct {
 	// (internal/faultinject) to every timing run whose benchmark matches
 	// the plan. Chaos-testing hook; leave nil for real measurements.
 	Inject *faultinject.Plan
+	// Progress, when non-nil, is fed the suite's task counts (total as
+	// each experiment fans out, done as cells finish) for the telemetry
+	// layer's /progress endpoint. Nil disables the accounting.
+	Progress *telemetry.Progress
 }
 
 func (c *Config) fillDefaults() {
@@ -150,6 +155,7 @@ func (c Config) forEach(n int, f func(ctx context.Context, i int) error) error {
 	}
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
+	c.Progress.AddTotal(n)
 	sem := make(chan struct{}, parallel)
 	var (
 		wg       sync.WaitGroup
@@ -168,6 +174,7 @@ func (c Config) forEach(n int, f func(ctx context.Context, i int) error) error {
 			if ctx.Err() != nil {
 				return
 			}
+			defer c.Progress.Done(1)
 			if err := f(ctx, i); err != nil {
 				mu.Lock()
 				if firstErr == nil || (isCancellation(firstErr) && !isCancellation(err)) {

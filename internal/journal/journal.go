@@ -101,6 +101,11 @@ type Options struct {
 	// superseded records outnumber live ones (tests use it to inspect
 	// the raw file).
 	NoAutoCompact bool
+	// OnSync, when non-nil, runs after each group-commit fsync completes,
+	// with the journal's cumulative durable appends and fsync batches. It
+	// is called outside the journal's locks; the telemetry layer hangs
+	// journal_flush events off it.
+	OnSync func(appends, syncBatches uint64)
 }
 
 // ReplayStats describes what Open found in an existing journal.
@@ -162,6 +167,7 @@ type Journal struct {
 	inject  *faultinject.Plan
 	rng     *rand.Rand // seeded damage sizes for injected crashes
 	onCrash func()
+	onSync  func(appends, syncBatches uint64)
 
 	syncMu   sync.Mutex // serialises group-commit fsyncs
 	syncedTo int64      // guarded by syncMu
@@ -200,6 +206,7 @@ func Open(dir string, opts Options) (*Journal, *Replay, error) {
 		f:       f,
 		inject:  opts.Inject,
 		onCrash: opts.OnCrash,
+		onSync:  opts.OnSync,
 	}
 	if opts.Inject.JournalActive() {
 		j.rng = rand.New(rand.NewSource(opts.Inject.Seed))
@@ -371,24 +378,37 @@ func (j *Journal) crashLocked() error {
 // sharing one fsync between every append that completed before it started
 // (group commit).
 func (j *Journal) syncTo(end int64) error {
-	j.syncMu.Lock()
-	defer j.syncMu.Unlock()
-	if j.syncedTo >= end {
-		return nil // a concurrent append's sync already covered us
+	var appends, syncs uint64
+	synced := false
+	err := func() error {
+		j.syncMu.Lock()
+		defer j.syncMu.Unlock()
+		if j.syncedTo >= end {
+			return nil // a concurrent append's sync already covered us
+		}
+		j.mu.Lock()
+		target := j.size
+		dead := j.dead
+		appends = j.appends
+		j.mu.Unlock()
+		if dead != nil {
+			return dead
+		}
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("journal: sync: %w", err)
+		}
+		j.syncedTo = target
+		j.syncs++
+		syncs = j.syncs
+		synced = true
+		return nil
+	}()
+	// The hook fires outside both locks, and only for the append that
+	// actually issued the fsync (not the group riding along).
+	if err == nil && synced && j.onSync != nil {
+		j.onSync(appends, syncs)
 	}
-	j.mu.Lock()
-	target := j.size
-	dead := j.dead
-	j.mu.Unlock()
-	if dead != nil {
-		return dead
-	}
-	if err := j.f.Sync(); err != nil {
-		return fmt.Errorf("journal: sync: %w", err)
-	}
-	j.syncedTo = target
-	j.syncs++
-	return nil
+	return err
 }
 
 // Compact rewrites the journal to exactly the given records: a temp file in

@@ -21,6 +21,7 @@ import (
 	"svf/internal/regions"
 	"svf/internal/rse"
 	"svf/internal/stackcache"
+	"svf/internal/telemetry"
 )
 
 // MachineConfig describes one machine model (the paper's Table 2).
@@ -198,6 +199,11 @@ type Env struct {
 	// plan's cycle-level faults (forced panic, stalled completions) to
 	// this run. Clean runs leave it nil.
 	Inject *faultinject.Plan
+	// Probe, when non-nil, receives cycle-sampled occupancy/SVF telemetry
+	// and (via Probe.Trace) the per-stage instruction timeline. Strictly
+	// observational: Stats are bit-identical with or without it, and a nil
+	// probe costs the hot loop one pointer check per cycle.
+	Probe *telemetry.Probe
 }
 
 // Predictor is the branch-direction interface consumed by the pipeline

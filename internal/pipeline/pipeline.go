@@ -8,6 +8,7 @@ import (
 
 	"svf/internal/faultinject"
 	"svf/internal/isa"
+	"svf/internal/telemetry"
 	"svf/internal/trace"
 )
 
@@ -190,6 +191,13 @@ type Pipeline struct {
 	// inject is the active fault plan, nil for clean runs so the hot loop
 	// pays a single nil check per cycle.
 	inject *faultinject.Plan
+	// probe is the optional telemetry probe (nil when observability is
+	// off — the same single-nil-check discipline as inject). trace is
+	// probe.Trace hoisted so the dispatch/issue/commit paths test one
+	// pointer; probeNext is the next occupancy-sample cycle.
+	probe     *telemetry.Probe
+	trace     *telemetry.PipelineTrace
+	probeNext uint64
 
 	// Event-driven scheduler state (see scheduler.go).
 	//
@@ -309,6 +317,11 @@ func New(env Env) (*Pipeline, error) {
 	if env.Inject.Active() {
 		p.inject = env.Inject
 	}
+	if env.Probe != nil {
+		p.probe = env.Probe
+		p.trace = env.Probe.Trace
+		p.probeNext = env.Probe.Interval()
+	}
 	return p, nil
 }
 
@@ -377,6 +390,9 @@ func (p *Pipeline) Run(ctx context.Context, s trace.Stream, maxInsts uint64) (St
 		p.issue()
 		p.dispatch()
 		p.fetch(s)
+		if p.probe != nil && p.cycle >= p.probeNext {
+			p.probeSample()
+		}
 		if p.stats.Committed != lastCommitted {
 			lastCommitted = p.stats.Committed
 			lastCommit = p.cycle
@@ -491,6 +507,9 @@ func (p *Pipeline) commit() {
 				p.lsqHead = (p.lsqHead + 1) & p.lsqMask
 				p.lsqCount--
 			}
+		}
+		if p.trace != nil {
+			p.trace.Commit(e.seq, p.cycle, routeName(e.route), e.forwarded, e.mispredict)
 		}
 		e.state = stFree
 		p.ruuHead = (p.ruuHead + 1) & p.ruuMask
@@ -632,6 +651,9 @@ func (p *Pipeline) issue() {
 			e.state = stIssued
 			e.completeAt = p.cycle + uint64(lat)
 			p.scheduleCompletion(i, e.completeAt)
+			if p.trace != nil {
+				p.trace.Issue(e.seq, p.cycle, e.completeAt)
+			}
 			issued++
 			if e.mispredict {
 				// The front end refetches once the branch resolves.
@@ -693,6 +715,9 @@ func (p *Pipeline) dispatch() {
 		e.lsqIdx = -1
 		e.consumers = e.consumers[:0] // keep the allocation across slot reuse
 
+		if p.trace != nil {
+			p.trace.Dispatch(e.seq, e.inst.PC, e.inst.Kind.String(), fe.fetchedAt, p.cycle)
+		}
 		stallAfter := p.dispatchInst(e, int32(idx))
 		p.linkDeps(int32(idx), e)
 		if stallAfter {
@@ -963,6 +988,9 @@ func (p *Pipeline) dispatchMem(e *ruuEntry, idx int32) bool {
 		// Pipeline flush and re-execution, charged as a front-end
 		// bubble.
 		p.dispatchHoldTo = p.cycle + uint64(p.cfg.SquashPenalty)
+		if p.trace != nil {
+			p.trace.Marker("squash", p.cycle)
+		}
 		return true
 	}
 	return false

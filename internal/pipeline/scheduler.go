@@ -240,6 +240,9 @@ func (p *Pipeline) fastForward(maxInsts, maxCycle uint64) {
 		*counter += skipped
 	}
 	p.cycle = target - 1
+	if p.probe != nil {
+		p.probe.FastForward(p.cycle, skipped)
+	}
 }
 
 // ceilPow2 rounds n up to the next power of two (min 1).

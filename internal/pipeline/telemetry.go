@@ -1,0 +1,33 @@
+package pipeline
+
+// Telemetry glue: the sampled-observation path behind the single
+// `p.probe != nil` check in Run. Everything here is observational — no
+// field read here may mutate model state, which is what keeps golden
+// stats bit-identical with the probe on.
+
+// probeSample records one occupancy (and, for SVF runs, SVF activity)
+// observation and schedules the next sample.
+func (p *Pipeline) probeSample() {
+	p.probe.Sample(p.cycle, p.ruuCount, p.lsqCount, p.ifqCount)
+	if p.env.Stack.Policy == PolicySVF {
+		st := p.env.Stack.SVF.Stats()
+		p.probe.SampleSVF(p.cycle, st.MorphedRefs(), st.ReroutedRefs(), st.Fills, st.Spills)
+	}
+	p.probeNext = p.cycle + p.probe.Interval()
+}
+
+// routeName renders a route for trace args.
+func routeName(r route) string {
+	switch r {
+	case routeDL1:
+		return "dl1"
+	case routeStack:
+		return "stackcache"
+	case routeSVF:
+		return "svf"
+	case routeRSE:
+		return "rse"
+	default:
+		return ""
+	}
+}

@@ -235,6 +235,91 @@ func TestBarChartNegativeValues(t *testing.T) {
 	}
 }
 
+// xMarks counts the ×-mark paths a bar chart drew for NaN (failed) cells;
+// they are the only elements with the 1.5px round-capped stroke.
+func xMarks(svg string) int {
+	return strings.Count(svg, `stroke-width="1.5" stroke-linecap="round"`)
+}
+
+func TestBarChartNaNCellRendersXMark(t *testing.T) {
+	nan := math.NaN()
+	c := BarChart{
+		Title:      "degraded",
+		Categories: []string{"a", "b", "c"},
+		Groups: []BarGroup{
+			{Name: "g1", Values: []float64{10, nan, 30}},
+			{Name: "g2", Values: []float64{15, 25, nan}},
+		},
+	}
+	svg := c.SVG()
+	if got := xMarks(svg); got != 2 {
+		t.Errorf("got %d ×-marks, want 2 (one per failed cell)", got)
+	}
+	// The four valid cells still render as rounded-top bar paths.
+	if got := strings.Count(svg, "<path") - xMarks(svg); got != 4 {
+		t.Errorf("got %d bar paths, want 4", got)
+	}
+}
+
+func TestBarChartAllNaNColumn(t *testing.T) {
+	// A category where every group failed: no bars in the slot, one ×-mark
+	// per group, and the axis still scales from the surviving columns.
+	nan := math.NaN()
+	c := BarChart{
+		Title:      "one column gone",
+		Categories: []string{"alive", "dead"},
+		Groups: []BarGroup{
+			{Name: "g1", Values: []float64{40, nan}},
+			{Name: "g2", Values: []float64{20, nan}},
+		},
+	}
+	svg := c.SVG()
+	if got := xMarks(svg); got != 2 {
+		t.Errorf("got %d ×-marks, want 2", got)
+	}
+	if !strings.Contains(svg, ">40<") {
+		t.Errorf("axis lost the surviving columns' scale:\n%s", svg)
+	}
+	if !strings.Contains(svg, "</svg>") {
+		t.Error("chart did not render to completion")
+	}
+}
+
+func TestBarChartSingleValidCell(t *testing.T) {
+	// Only one cell in the whole chart survived: it must still produce a
+	// bar and a sane axis rather than a degenerate 0-range scale.
+	nan := math.NaN()
+	c := BarChart{
+		Title:      "one survivor",
+		Categories: []string{"a", "b", "c"},
+		Groups:     []BarGroup{{Name: "g", Values: []float64{nan, 7, nan}}},
+	}
+	svg := c.SVG()
+	if got := xMarks(svg); got != 2 {
+		t.Errorf("got %d ×-marks, want 2", got)
+	}
+	if got := strings.Count(svg, "<path") - xMarks(svg); got != 1 {
+		t.Errorf("got %d bar paths, want 1", got)
+	}
+}
+
+func TestLineChartNaNSplitsPolyline(t *testing.T) {
+	// A NaN point breaks the polyline into separate segments: a failed cell
+	// reads as a gap, never as an interpolated value.
+	c := LineChart{
+		Title: "gap",
+		Series: []Series{{
+			Name: "s",
+			X:    []float64{1, 2, 3, 4, 5},
+			Y:    []float64{1, 2, math.NaN(), 4, 5},
+		}},
+	}
+	svg := c.SVG()
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("got %d polyline segments, want 2", got)
+	}
+}
+
 func TestBarChartEmpty(t *testing.T) {
 	svg := BarChart{Title: "none"}.SVG()
 	if !strings.Contains(svg, "</svg>") {

@@ -11,6 +11,7 @@ import (
 
 	"svf/internal/journal"
 	"svf/internal/pipeline"
+	"svf/internal/telemetry"
 )
 
 // This file is the RunCache's durable backend: it encodes finished cells as
@@ -98,6 +99,21 @@ type journalBackend struct {
 	attempts map[string]uint32
 	// latched maps a cell key to its permanent-failure record.
 	latched map[string]*LatchedError
+	// restored marks the cell keys seeded from the journal replay, so the
+	// telemetry layer can tell a disk-restored hit (cache_restore) from an
+	// ordinary in-memory one (cache_hit).
+	restored map[string]bool
+}
+
+// restoredCell reports whether key was seeded by the journal replay.
+// Nil-safe: plain in-memory caches have no backend and nothing restored.
+func (b *journalBackend) restoredCell(key string) bool {
+	if b == nil || key == "" {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.restored[key]
 }
 
 // priorAttempts returns how many times the cell has already failed,
@@ -215,6 +231,7 @@ func NewRunCacheWithJournal(j *journal.Journal, rep *journal.Replay) (*RunCache,
 		j:        j,
 		attempts: map[string]uint32{},
 		latched:  map[string]*LatchedError{},
+		restored: map[string]bool{},
 	}
 	var rs RestoreStats
 	if rep != nil {
@@ -236,6 +253,7 @@ func NewRunCacheWithJournal(j *journal.Journal, rep *journal.Replay) (*RunCache,
 					continue
 				}
 				c.runs.seed(key, p.Res)
+				c.jb.restored[rec.Key] = true
 				rs.Runs++
 			case recKindTraffic:
 				var p trafficPayload
@@ -249,6 +267,7 @@ func NewRunCacheWithJournal(j *journal.Journal, rep *journal.Replay) (*RunCache,
 					continue
 				}
 				c.traffic.seed(key, trafficVal{p.In, p.Out, p.CtxBytes})
+				c.jb.restored[rec.Key] = true
 				rs.Traffic++
 			case recKindFault:
 				var p faultPayload
@@ -372,6 +391,7 @@ func (c *RunCache) sleepBackoff(ctx context.Context, key string, attempt uint32)
 		return nil
 	}
 	d := c.backoffFor(key, attempt)
+	c.obs.emit(telemetry.Event{Type: "backoff", Key: key, Attempt: attempt, DurMS: float64(d) / float64(time.Millisecond)})
 	if c.sleep != nil {
 		return c.sleep(ctx, d)
 	}

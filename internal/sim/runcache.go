@@ -12,6 +12,7 @@ import (
 	"svf/internal/pipeline"
 	"svf/internal/stats"
 	"svf/internal/synth"
+	"svf/internal/telemetry"
 )
 
 // RunCache memoizes complete simulation runs. Keys are content
@@ -61,6 +62,10 @@ type RunCache struct {
 	jb      *journalBackend
 	restore RestoreStats
 
+	// obs is the attached telemetry observer, nil when observability is
+	// off (see SetObserver; every Observer helper is nil-safe).
+	obs *Observer
+
 	// retries is the per-cell re-execution budget after the first
 	// failure; retriesSet distinguishes an explicit 0 from the default.
 	retries    int
@@ -106,13 +111,16 @@ type runKey struct {
 // Canonical returns opt with defaults filled and presentation-only state
 // normalised, so equivalent configurations compare equal as cache keys: the
 // machine's display Name is dropped, the DL1Ports override is cleared
-// after fillDefaults has folded it into Machine.DL1Ports, and any FaultPlan
-// is cleared (injected runs never reach the cache's key space — see Run).
+// after fillDefaults has folded it into Machine.DL1Ports, any FaultPlan
+// is cleared (injected runs never reach the cache's key space — see Run),
+// and any Probe is cleared (instrumentation must never affect a cache key
+// or fingerprint).
 func Canonical(opt Options) Options {
 	opt.fillDefaults()
 	opt.Machine.Name = ""
 	opt.DL1Ports = 0
 	opt.FaultPlan = nil
+	opt.Probe = nil
 	return opt
 }
 
@@ -149,6 +157,8 @@ func cacheExec[V any](ctx context.Context, c *RunCache, key, bench string, fn fu
 				}
 			}
 			c.cnt.retries.Inc()
+			c.obs.emit(telemetry.Event{Type: "retry", Bench: bench, Key: key, Attempt: attempts + 1})
+			c.obs.count("svf_sim_retries_total", 1)
 		}
 		v, err := fn()
 		if err == nil {
@@ -166,10 +176,18 @@ func cacheExec[V any](ctx context.Context, c *RunCache, key, bench string, fn fu
 		}
 		attempts++
 		permanent := attempts >= budget
+		c.obs.emit(telemetry.Event{
+			Type: "run_fault", Bench: bench, Key: key, Fingerprint: f.Fingerprint,
+			Cycles: f.Cycle, Committed: f.Committed, Attempt: attempts, Err: err.Error(),
+		})
+		c.obs.count("svf_sim_run_faults_total", 1)
+		c.obs.progressFault()
 		if journaled {
 			c.jb.fault(key, bench, attempts, permanent, err)
 		}
 		if permanent {
+			c.obs.emit(telemetry.Event{Type: "latched", Bench: bench, Key: key, Attempt: attempts, Err: err.Error()})
+			c.obs.progressLatched()
 			return v, err
 		}
 	}
@@ -188,13 +206,35 @@ func (c *RunCache) Run(ctx context.Context, prof *synth.Profile, opt Options) (*
 	if run == nil {
 		run = RunContext
 	}
+	// With an observer attached, every executed run carries a probe
+	// mirroring into the shared registry, so /metrics aggregates occupancy
+	// across the whole sweep. Canonical clears the probe, so keys,
+	// fingerprints and journal identities are untouched.
+	var fp string
+	if c.obs != nil {
+		if opt.Probe == nil && c.obs.Registry != nil {
+			opt.Probe = telemetry.NewProbe(c.obs.Registry)
+		}
+		fp = runFingerprint(prof.Fingerprint(), opt)
+	}
+	execRun := func() (*Result, error) {
+		c.obs.emit(telemetry.Event{Type: "run_start", Bench: prof.ID(), Fingerprint: fp})
+		start := time.Now()
+		res, err := run(ctx, prof, opt)
+		if err == nil {
+			c.obs.observeRunFinish(res, fp, time.Since(start))
+		}
+		return res, err
+	}
 	if opt.FaultPlan.Active() && opt.FaultPlan.Matches(prof.ID()) {
 		c.cnt.misses.Inc()
 		start := time.Now()
-		res, err := run(ctx, prof, opt)
+		res, err := execRun()
 		c.cnt.simNanos.Add(uint64(time.Since(start)))
 		if err != nil {
 			c.cnt.errors.Inc()
+			c.obs.count("svf_sim_run_faults_total", 1)
+			c.obs.progressFault()
 		}
 		return res, err
 	}
@@ -204,13 +244,18 @@ func (c *RunCache) Run(ctx context.Context, prof *synth.Profile, opt Options) (*
 		skey = runJournalKey(key)
 		if gerr := c.jb.gate(skey, c.attemptBudget()); gerr != nil {
 			c.cnt.latched.Inc()
+			c.obs.emit(telemetry.Event{Type: "latched", Bench: prof.ID(), Key: skey, Err: gerr.Error(), Detail: "refused without execution"})
 			return nil, gerr
 		}
 	}
-	res, err := c.runs.do(ctx, key, &c.cnt, func() (*Result, error) {
-		return cacheExec(ctx, c, skey, prof.ID(), func() (*Result, error) {
-			return run(ctx, prof, opt)
-		}, func(r *Result) (journal.Record, error) {
+	var onServe func(shared bool)
+	if c.obs != nil {
+		onServe = func(shared bool) {
+			c.obs.serveEvent(prof.ID(), skey, fp, shared, c.jb.restoredCell(skey))
+		}
+	}
+	res, err := c.runs.do(ctx, key, &c.cnt, onServe, func() (*Result, error) {
+		return cacheExec(ctx, c, skey, prof.ID(), execRun, func(r *Result) (journal.Record, error) {
 			data, err := json.Marshal(runPayload{Prof: key.prof, Opt: key.opt, Res: r})
 			if err != nil {
 				return journal.Record{}, err
@@ -243,10 +288,17 @@ func (c *RunCache) Traffic(ctx context.Context, prof *synth.Profile, policy pipe
 		skey = trafficJournalKey(key)
 		if gerr := c.jb.gate(skey, c.attemptBudget()); gerr != nil {
 			c.cnt.latched.Inc()
+			c.obs.emit(telemetry.Event{Type: "latched", Bench: prof.ID(), Key: skey, Err: gerr.Error(), Detail: "refused without execution"})
 			return 0, 0, 0, gerr
 		}
 	}
-	v, err := c.traffic.do(ctx, key, &c.cnt, func() (trafficVal, error) {
+	var onServe func(shared bool)
+	if c.obs != nil {
+		onServe = func(shared bool) {
+			c.obs.serveEvent(prof.ID(), skey, "", shared, c.jb.restoredCell(skey))
+		}
+	}
+	v, err := c.traffic.do(ctx, key, &c.cnt, onServe, func() (trafficVal, error) {
 		return cacheExec(ctx, c, skey, prof.ID(), func() (trafficVal, error) {
 			in, out, cb, err := TrafficOnly(ctx, prof, policy, sizeBytes, maxInsts, ctxPeriod)
 			return trafficVal{in, out, cb}, err
@@ -280,7 +332,7 @@ func (c *RunCache) Characterize(ctx context.Context, prof *synth.Profile, maxIns
 		ctx = context.Background()
 	}
 	key := charKey{prof.Fingerprint(), maxInsts}
-	return c.char.do(ctx, key, &c.cnt, func() (*synth.Characterization, error) {
+	return c.char.do(ctx, key, &c.cnt, nil, func() (*synth.Characterization, error) {
 		// Characterisations are not journaled (empty key): cheap,
 		// deterministic functional passes that simply recompute on resume.
 		return cacheExec(ctx, c, "", prof.ID(), func() (*synth.Characterization, error) {
@@ -391,8 +443,11 @@ type flightGroup[K comparable, V any] struct {
 // do returns the value for key, joining an in-flight execution or starting
 // fn, and bumps the matching counters. A caller waiting on someone else's
 // in-flight execution stops waiting when its own context is cancelled (the
-// execution itself keeps running for the caller that started it).
-func (g *flightGroup[K, V]) do(ctx context.Context, key K, cnt *cacheCounters, fn func() (V, error)) (V, error) {
+// execution itself keeps running for the caller that started it). onServe,
+// when non-nil, is called for requests served without executing fn — a hit
+// on a completed entry (shared=false) or a join of an in-flight execution
+// (shared=true) — which is where the telemetry layer hangs cache events.
+func (g *flightGroup[K, V]) do(ctx context.Context, key K, cnt *cacheCounters, onServe func(shared bool), fn func() (V, error)) (V, error) {
 	g.mu.Lock()
 	if g.m == nil {
 		g.m = make(map[K]*flight[V])
@@ -415,6 +470,9 @@ func (g *flightGroup[K, V]) do(ctx context.Context, key K, cnt *cacheCounters, f
 			cnt.shared.Inc()
 		} else {
 			cnt.hits.Inc()
+		}
+		if onServe != nil {
+			onServe(inFlight)
 		}
 		return f.val, f.err
 	}

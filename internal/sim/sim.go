@@ -20,6 +20,7 @@ import (
 	"svf/internal/rse"
 	"svf/internal/stackcache"
 	"svf/internal/synth"
+	"svf/internal/telemetry"
 	"svf/internal/trace"
 )
 
@@ -82,6 +83,14 @@ type Options struct {
 	// fault-injected result can never be cached for — or served to — a
 	// clean request.
 	FaultPlan *faultinject.Plan
+
+	// Probe, when non-nil, attaches pipeline telemetry (occupancy series,
+	// SVF activity samples, optional per-stage trace) to the run. Like
+	// FaultPlan it is a pointer so Options stays comparable, and Canonical
+	// clears it: instrumentation never affects cache keys, fingerprints,
+	// or results — golden stats are bit-identical with it on or off. The
+	// echoed Result.Opt has it cleared for the same reason.
+	Probe *telemetry.Probe
 }
 
 func (o *Options) fillDefaults() {
@@ -227,6 +236,7 @@ func runStream(ctx context.Context, name, identity string, gen trace.Stream, opt
 		Pred:            pred,
 		Layout:          regions.DefaultLayout(),
 		CtxSwitchPeriod: opt.CtxSwitchPeriod,
+		Probe:           opt.Probe,
 	}
 	if opt.FaultPlan.Active() && opt.FaultPlan.Matches(name) {
 		gen = opt.FaultPlan.WrapStream(gen)
@@ -275,6 +285,9 @@ func runStream(ctx context.Context, name, identity string, gen trace.Stream, opt
 		return nil, err
 	}
 
+	// The echoed options drop the probe: it is instrumentation, not
+	// configuration, and must not ride into journal payloads or clones.
+	opt.Probe = nil
 	res := &Result{
 		Bench:       name,
 		Opt:         opt,

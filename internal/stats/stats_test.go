@@ -142,6 +142,32 @@ func TestMeans(t *testing.T) {
 	}
 }
 
+func TestMeanValid(t *testing.T) {
+	nan := math.NaN()
+	if got := MeanValid([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("MeanValid with no gaps = %g, want 2", got)
+	}
+	// A NaN gap drops out of the average instead of poisoning it.
+	if got := MeanValid([]float64{1, nan, 3}); got != 2 {
+		t.Errorf("MeanValid over a gap = %g, want 2", got)
+	}
+	if got := MeanValid([]float64{nan, nan, 5}); got != 5 {
+		t.Errorf("MeanValid with a single valid entry = %g, want 5", got)
+	}
+	// No valid entries (or no entries at all) yield NaN, not zero: a fully
+	// failed column must not render as "no speedup".
+	if got := MeanValid([]float64{nan, nan}); !math.IsNaN(got) {
+		t.Errorf("MeanValid of all-NaN = %g, want NaN", got)
+	}
+	if got := MeanValid(nil); !math.IsNaN(got) {
+		t.Errorf("MeanValid(nil) = %g, want NaN", got)
+	}
+	// Negative entries average like any other (Figure 5 has real slowdowns).
+	if got := MeanValid([]float64{-2, nan, 4}); got != 1 {
+		t.Errorf("MeanValid with negatives = %g, want 1", got)
+	}
+}
+
 func TestTableRendering(t *testing.T) {
 	tb := NewTable("name", "value")
 	tb.AddRow("foo", 1.234)

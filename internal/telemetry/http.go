@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Server is the optional live-observation endpoint: Prometheus-text
+// /metrics from a Registry, JSON /progress from a Progress tracker, and
+// the stock /debug/pprof handlers. It exists for watching sweeps, not for
+// serving traffic — no TLS, no auth; bind it to localhost.
+type Server struct {
+	Registry *Registry
+	Progress *Progress
+
+	ln net.Listener
+}
+
+// Handler returns the observation mux.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_ = s.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(s.Progress.Snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Listen binds addr (":0" picks an ephemeral port) and starts serving in
+// a background goroutine. It returns the bound address so callers can
+// print it for curl/CI discovery. Close stops the listener.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	srv := &http.Server{Handler: s.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener; in-flight requests are abandoned (this is a
+// diagnostics port, not a service).
+func (s *Server) Close() error {
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Close()
+}

@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Progress is the campaign-level completion tracker behind the /progress
+// endpoint: cells done vs total, fault and latch counts, and a rate-based
+// ETA. All updates are atomic; a nil *Progress ignores every call so the
+// experiment runner needs no guards.
+type Progress struct {
+	start                        time.Time
+	total, done, faults, latched atomic.Int64
+}
+
+// NewProgress returns a tracker whose ETA clock starts now.
+func NewProgress() *Progress {
+	return &Progress{start: time.Now()}
+}
+
+// AddTotal grows the expected cell count (campaigns discover work
+// experiment by experiment).
+func (p *Progress) AddTotal(n int) {
+	if p == nil {
+		return
+	}
+	p.total.Add(int64(n))
+}
+
+// Done records n completed cells.
+func (p *Progress) Done(n int) {
+	if p == nil {
+		return
+	}
+	p.done.Add(int64(n))
+}
+
+// Fault records one faulted cell.
+func (p *Progress) Fault() {
+	if p == nil {
+		return
+	}
+	p.faults.Add(1)
+}
+
+// Latched records one cell abandoned after retry exhaustion.
+func (p *Progress) Latched() {
+	if p == nil {
+		return
+	}
+	p.latched.Add(1)
+}
+
+// ProgressSnapshot is the JSON shape served at /progress.
+type ProgressSnapshot struct {
+	Done       int64   `json:"done"`
+	Total      int64   `json:"total"`
+	Faults     int64   `json:"faults"`
+	Latched    int64   `json:"latched"`
+	ElapsedSec float64 `json:"elapsed_sec"`
+	// ETASec extrapolates remaining wall time from the completion rate so
+	// far; -1 when no cells have finished yet.
+	ETASec float64 `json:"eta_sec"`
+}
+
+// Snapshot returns the current state. Nil-safe (returns zeroes).
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{ETASec: -1}
+	}
+	s := ProgressSnapshot{
+		Done:    p.done.Load(),
+		Total:   p.total.Load(),
+		Faults:  p.faults.Load(),
+		Latched: p.latched.Load(),
+		ETASec:  -1,
+	}
+	s.ElapsedSec = time.Since(p.start).Seconds()
+	if s.Done > 0 && s.Total > s.Done {
+		s.ETASec = s.ElapsedSec / float64(s.Done) * float64(s.Total-s.Done)
+	} else if s.Done >= s.Total && s.Total > 0 {
+		s.ETASec = 0
+	}
+	return s
+}

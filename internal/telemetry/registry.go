@@ -1,0 +1,255 @@
+// Package telemetry is the simulator's zero-cost-when-disabled
+// observability layer: a lock-light metrics registry (counters, gauges,
+// histograms) rendered in Prometheus text format, a per-run pipeline Probe
+// recording cycle-sampled occupancy series and per-stage instruction
+// timelines, a structured NDJSON event log for campaign lifecycle events,
+// a Chrome trace-event / Perfetto exporter, and a small HTTP endpoint
+// (/metrics, /progress, /debug/pprof) for watching live sweeps.
+//
+// The layer is strictly observational: golden statistics are bit-identical
+// whether telemetry is enabled or not (internal/sim's golden tests hold it
+// to that), and a disabled probe costs the pipeline hot loop exactly one
+// nil pointer check per cycle.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (stored as float64 bits so rates
+// and ratios fit alongside occupancies).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket cumulative histogram with atomic bucket
+// counts: Observe is lock-free, so probes on concurrent runs can share one
+// histogram safely. Bucket i counts observations <= bounds[i]; an implicit
+// +Inf bucket catches the rest (the Prometheus histogram convention).
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1, cumulative on render
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 sum, CAS-accumulated
+}
+
+// newHistogram builds a histogram over ascending bounds.
+func newHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram bounds not ascending at %d", i))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Registry is a lock-light named-metric registry: registration takes a
+// mutex once per metric name, after which every operation on the returned
+// Counter/Gauge/Histogram is a plain atomic. Metric names must match
+// Prometheus conventions ([a-zA-Z_][a-zA-Z0-9_]*); the registry does not
+// police them — a bad name simply renders as-is.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+	help       map[string]string
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		help:       map[string]string{},
+	}
+}
+
+// Counter returns (registering on first use) the named counter. Nil-safe:
+// a nil registry returns a throwaway counter so call sites need no guard.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (registering on first use) the named gauge. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (registering on first use) the named histogram. The
+// bounds apply only on first registration; later calls reuse the existing
+// buckets. Nil-safe.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	if r == nil {
+		return newHistogram(bounds)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Help records a HELP string rendered above the named metric.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format, sorted by name for stable output.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	emitHeader := func(name, typ string) error {
+		if h, ok := help[name]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+				return err
+			}
+		}
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		return err
+	}
+	for _, name := range sortedKeys(counters) {
+		if err := emitHeader(name, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, counters[name].Load()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		if err := emitHeader(name, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %v\n", name, gauges[name].Load()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		if err := emitHeader(name, "histogram"); err != nil {
+			return err
+		}
+		h := hists[name]
+		var cum uint64
+		for i, bound := range h.bounds {
+			cum += h.buckets[i].Load()
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", name, bound, cum); err != nil {
+				return err
+			}
+		}
+		cum += h.buckets[len(h.bounds)].Load()
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %v\n%s_count %d\n", name, h.Sum(), name, h.Count()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
