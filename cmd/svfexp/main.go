@@ -8,8 +8,11 @@
 //	svfexp -exp all,scorecard -cache-stats
 //
 // Experiments: table1 table2 fig1 fig2 fig3 fig5 fig6 fig7 fig8 fig9
-// table3 table4, plus the opt-in extensions sweep, x86, rse and scorecard
-// (run by name; "all" covers only the paper's own tables and figures).
+// table3 table4, plus the opt-in extensions sweep, x86, rse, scorecard,
+// famperf and famtraffic (run by name; "all" covers only the paper's own
+// tables and figures). famperf/famtraffic evaluate the four stack-stress
+// workload families (vm.stack, recurse.deep, coro.switch, alloca.dyn) the
+// way Figure 9 and Tables 3/4 evaluate SPEC.
 //
 // All simulations flow through a shared run cache keyed by workload
 // contents and canonical machine options, so identical configurations —
@@ -85,7 +88,7 @@ func main() { os.Exit(run()) }
 // run holds the real main body; returning instead of os.Exit lets the
 // -cpuprofile / -memprofile defers flush even on a failing suite.
 func run() int {
-	exp := flag.String("exp", "all", "comma-separated experiments (table1, table2, fig1..fig9, table3, table4, sweep, x86, rse, scorecard, all)")
+	exp := flag.String("exp", "all", "comma-separated experiments (table1, table2, fig1..fig9, table3, table4, sweep, x86, rse, scorecard, famperf, famtraffic, all)")
 	insts := flag.Int("insts", 400_000, "instruction budget per timing run")
 	traffic := flag.Int("traffic", 2_000_000, "instruction budget per traffic run")
 	parallel := flag.Int("parallel", 0, "concurrent simulations (0 = GOMAXPROCS)")
@@ -377,6 +380,20 @@ func run() int {
 			}
 			return r.Table(), nil
 		}},
+		{"famperf", "Stack-stress families: speedup over (2+0) baseline, %", func() (fmt.Stringer, error) {
+			r, err := experiments.FamilyPerf(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), writeSVG(r.Chart())
+		}},
+		{"famtraffic", "Stack-stress families: memory traffic (quadwords; bytes/ctx-switch)", func() (fmt.Stringer, error) {
+			r, err := experiments.FamilyTraffic(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return r.Table(), writeSVG(r.Chart())
+		}},
 	}
 
 	ran, failed := 0, 0
@@ -384,7 +401,8 @@ func run() int {
 		if ctx.Err() != nil {
 			break // interrupted: skip straight to the summaries
 		}
-		if (f.name == "sweep" || f.name == "x86" || f.name == "rse" || f.name == "scorecard") && !want[f.name] {
+		if (f.name == "sweep" || f.name == "x86" || f.name == "rse" || f.name == "scorecard" ||
+			f.name == "famperf" || f.name == "famtraffic") && !want[f.name] {
 			continue // opt-in: costly extension experiments
 		}
 		if !all && !want[f.name] {

@@ -271,9 +271,13 @@ func (s *SVF) NotifySPUpdate(oldSP, newSP uint64) {
 		delta := oldSP - newSP
 		if delta >= winBytes {
 			// The whole window slides past itself: spill everything
-			// live, then invalidate.
+			// live, then invalidate. Every slot of the new window covers
+			// newly allocated (dead-on-arrival) words, so the slide
+			// alloc-kills the full window — same per-word accounting as
+			// the incremental path below.
 			s.spillAll(oldSP)
 			s.invalidateAll()
+			s.stats.AllocKills += uint64(s.entries)
 		} else {
 			// Words leaving at the deep end ([newSP+W, oldSP+W)) are
 			// live: spill if dirty. Their circular slots are reused by
@@ -296,9 +300,16 @@ func (s *SVF) NotifySPUpdate(oldSP, newSP uint64) {
 		delta := newSP - oldSP
 		if delta >= winBytes {
 			if s.cfg.DisableKills {
+				// No liveness knowledge: dirty words are written back,
+				// exactly as the incremental path does — and therefore
+				// NOT counted as dealloc kills (a kill is a writeback
+				// *avoided*; counting spilled words too double-reports
+				// the §5.3.2 liveness win on every full-window pop).
 				s.spillAll(oldSP)
+				s.invalidateAll()
+			} else {
+				s.invalidateAllCounting(&s.stats.DeallocKills)
 			}
-			s.invalidateAllCounting(&s.stats.DeallocKills)
 		} else {
 			for a := oldSP; a < newSP; a += isa.WordSize {
 				i := s.index(a)

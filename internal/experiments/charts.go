@@ -218,3 +218,41 @@ func (r *Fig9Result) Chart() ChartSVG {
 	c.Groups = groups
 	return ChartSVG{Name: "fig9.svg", SVG: c.SVG()}
 }
+
+// Chart renders the family timing comparison as grouped speedup bars.
+func (r *FamilyPerfResult) Chart() ChartSVG {
+	c := plot.BarChart{
+		Title:  "Stack-stress families: speedup over (2+0) baseline, %",
+		YLabel: "% improvement",
+	}
+	groups := []plot.BarGroup{
+		{Name: "svf (2+1)"}, {Name: "svf (2+2)"}, {Name: "stack$ (2+2)"}, {Name: "rse"},
+	}
+	for _, row := range r.Rows {
+		c.Categories = append(c.Categories, row.Bench)
+		groups[0].Values = append(groups[0].Values, pct(row.SVF21))
+		groups[1].Values = append(groups[1].Values, pct(row.SVF22))
+		groups[2].Values = append(groups[2].Values, pct(row.SC22))
+		groups[3].Values = append(groups[3].Values, pct(row.RSE))
+	}
+	c.Groups = groups
+	return ChartSVG{Name: "famperf.svg", SVG: c.SVG()}
+}
+
+// Chart renders the family traffic comparison: 8KB steady-state quadwords
+// per structure (the 4KB points stay table-only).
+func (r *FamilyTrafficResult) Chart() ChartSVG {
+	c := plot.BarChart{
+		Title:  "Stack-stress families: memory traffic at 8KB (quadwords)",
+		YLabel: "quadwords",
+	}
+	groups := []plot.BarGroup{{Name: "stack$"}, {Name: "svf"}, {Name: "rse"}}
+	for _, row := range r.Rows {
+		c.Categories = append(c.Categories, row.Bench)
+		groups[0].Values = append(groups[0].Values, float64(row.SC8K))
+		groups[1].Values = append(groups[1].Values, float64(row.SVF8K))
+		groups[2].Values = append(groups[2].Values, float64(row.RSE8K))
+	}
+	c.Groups = groups
+	return ChartSVG{Name: "famtraffic.svg", SVG: c.SVG()}
+}

@@ -532,7 +532,7 @@ func (p *Pipeline) contextSwitch() {
 		p.env.Stack.SC.ContextSwitch()
 	case PolicyRSE:
 		p.env.Stack.RSE.ContextSwitch()
-		p.dispatchHoldTo = p.cycle + uint64(p.env.Stack.RSE.TakePenalty())
+		p.holdDispatch(p.cycle + uint64(p.env.Stack.RSE.TakePenalty()))
 	}
 }
 
@@ -664,6 +664,16 @@ func (p *Pipeline) issue() {
 }
 
 // ---- dispatch ----
+
+// holdDispatch stalls dispatch until the given cycle. Holds compose by
+// max, never by overwrite: a squash landing while an RSE flush penalty is
+// still draining must not shorten the earlier hold (the spill/fill engine
+// stays busy regardless of what the front end does meanwhile).
+func (p *Pipeline) holdDispatch(until uint64) {
+	if until > p.dispatchHoldTo {
+		p.dispatchHoldTo = until
+	}
+}
 
 func (p *Pipeline) dispatch() {
 	if p.cycle < p.dispatchHoldTo {
@@ -808,7 +818,7 @@ func (p *Pipeline) dispatchSPAdjust(e *ruuEntry, idx int32) bool {
 			if pen := p.env.Stack.RSE.TakePenalty(); pen > 0 {
 				// Overflow/underflow occupies the spill/fill engine;
 				// the front end stalls behind it.
-				p.dispatchHoldTo = p.cycle + uint64(pen)
+				p.holdDispatch(p.cycle + uint64(pen))
 			}
 		}
 	}
@@ -987,7 +997,7 @@ func (p *Pipeline) dispatchMem(e *ruuEntry, idx int32) bool {
 	if squash {
 		// Pipeline flush and re-execution, charged as a front-end
 		// bubble.
-		p.dispatchHoldTo = p.cycle + uint64(p.cfg.SquashPenalty)
+		p.holdDispatch(p.cycle + uint64(p.cfg.SquashPenalty))
 		if p.trace != nil {
 			p.trace.Marker("squash", p.cycle)
 		}

@@ -238,9 +238,39 @@ func (r *RSE) pop(newSP uint64) {
 		break
 	}
 	// Underflow: the returning-to frame must be resident.
-	if n := len(r.frames); n > 0 && !r.frames[n-1].resident {
-		r.stats.Underflows++
-		r.fillFrame(&r.frames[n-1])
+	r.refillTop()
+}
+
+// refillTop refills the top frame after an underflow. A frame that alone
+// exceeds the register stack is left spilled — it can never be resident, so
+// its references are served from memory, mirroring the oversized-push case;
+// refilling it anyway would leave residentWords permanently above Regs.
+// After a legitimate refill, any older frames still resident are evicted
+// oldest-first until the stack fits capacity again.
+func (r *RSE) refillTop() {
+	n := len(r.frames)
+	if n == 0 {
+		return
+	}
+	top := &r.frames[n-1]
+	if top.resident || top.words > r.cfg.Regs {
+		return
+	}
+	r.stats.Underflows++
+	r.fillFrame(top)
+	for r.residentWords > r.cfg.Regs {
+		victim := -1
+		for i := 0; i < n-1; i++ {
+			if r.frames[i].resident {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		r.stats.Overflows++
+		r.spillFrame(&r.frames[victim])
 	}
 }
 
@@ -291,11 +321,11 @@ func (r *RSE) ContextSwitch() {
 	}
 	r.residentWords = 0
 	r.stats.CtxBytes += flushed * isa.WordSize
+	// The flush moves registers at the same 2-per-cycle bandwidth as
+	// ordinary spills, so it stalls the front end just like one.
+	r.pendingPenalty += int(flushed+1) / 2
 	// The process resumes with an underflow of its current frame.
-	if n := len(r.frames); n > 0 {
-		r.stats.Underflows++
-		r.fillFrame(&r.frames[n-1])
-	}
+	r.refillTop()
 }
 
 // CtxSwitchBytes returns the average bytes spilled per context switch.

@@ -244,3 +244,104 @@ func TestSPMismatchReturnsError(t *testing.T) {
 		t.Errorf("consistent update after rejected one: %v", err)
 	}
 }
+
+func TestContextSwitchChargesFlushPenalty(t *testing.T) {
+	// The flush moves registers at spill bandwidth (2 per cycle), so it
+	// must accrue a front-end penalty like any other overflow — an
+	// uncharged flush makes context switches free for the RSE while the
+	// SVF pays for its dirty words.
+	r, _ := newRSE(t, 64)
+	r.NotifySPUpdate(base, base-64) // 8 words
+	if p := r.TakePenalty(); p != 0 {
+		t.Fatalf("in-capacity push accrued penalty %d", p)
+	}
+	r.ContextSwitch()
+	// 8 registers out at 2/cycle = 4, plus the resume underflow refilling
+	// the same 8 registers = 4 more.
+	if p := r.TakePenalty(); p != 8 {
+		t.Errorf("context-switch penalty = %d, want 8 (4 flush + 4 refill)", p)
+	}
+}
+
+func TestRepeatedContextSwitchCtxBytesExact(t *testing.T) {
+	// Each switch flushes exactly the registers resident at that moment:
+	// after the first switch only the refilled top frame is resident, so
+	// the second flush is smaller. CtxBytes must track both exactly.
+	r, _ := newRSE(t, 64)
+	sp := base
+	r.NotifySPUpdate(sp, sp-64) // 8 words
+	sp -= 64
+	r.NotifySPUpdate(sp, sp-32) // 4 words
+	sp -= 32
+	r.ContextSwitch() // flushes 12 words, refills the 4-word top
+	r.ContextSwitch() // flushes just the 4-word top
+	st := r.Stats()
+	if st.CtxSwitches != 2 {
+		t.Fatalf("CtxSwitches = %d", st.CtxSwitches)
+	}
+	if want := uint64((12 + 4) * isa.WordSize); st.CtxBytes != want {
+		t.Errorf("CtxBytes = %d, want %d", st.CtxBytes, want)
+	}
+	if r.ResidentWords() != 4 {
+		t.Errorf("ResidentWords = %d after second switch, want 4", r.ResidentWords())
+	}
+}
+
+func TestPopNeverRefillsOversizeFrame(t *testing.T) {
+	// Returning to a frame that alone exceeds the register stack must NOT
+	// refill it: it can never be resident, and refilling would pin
+	// residentWords above Regs forever. Its references stay memory-served,
+	// mirroring the oversized-push case.
+	r, _ := newRSE(t, 16)
+	sp := base
+	r.NotifySPUpdate(sp, sp-64) // A: 8 words
+	sp -= 64
+	r.NotifySPUpdate(sp, sp-32*isa.WordSize) // B: 32 words > 16 regs
+	sp -= 32 * isa.WordSize
+	r.NotifySPUpdate(sp, sp-64) // C: 8 words
+	sp -= 64
+	r.NotifySPUpdate(sp, sp+64) // pop C: returns to oversized B
+	sp += 64
+	if r.Resident(sp) {
+		t.Error("oversized frame became resident via pop refill")
+	}
+	if rw := r.ResidentWords(); rw > 16 {
+		t.Errorf("ResidentWords = %d exceeds capacity 16", rw)
+	}
+	st := r.Stats()
+	if _, ok := r.Access(sp, false); ok {
+		t.Error("oversized frame access should fall back to memory")
+	}
+	// Popping B returns to A, a normal-sized frame: that one refills.
+	r.NotifySPUpdate(sp, sp+32*isa.WordSize)
+	sp += 32 * isa.WordSize
+	if !r.Resident(sp) {
+		t.Error("normal frame not refilled after oversized interlude")
+	}
+	if got := r.Stats().Underflows - st.Underflows; got != 1 {
+		t.Errorf("underflows for the A refill = %d, want 1", got)
+	}
+	if rw := r.ResidentWords(); rw != 8 {
+		t.Errorf("ResidentWords = %d, want 8", rw)
+	}
+}
+
+func TestContextSwitchKeepsCapacityInvariant(t *testing.T) {
+	// A deep stack flushed and resumed must come back under capacity:
+	// the resume refill may itself evict older frames, never exceed Regs.
+	r, _ := newRSE(t, 16)
+	sp := base
+	for i := 0; i < 3; i++ { // 3 × 8 words; A spills on the third push
+		r.NotifySPUpdate(sp, sp-64)
+		sp -= 64
+	}
+	for i := 0; i < 4; i++ {
+		r.ContextSwitch()
+		if rw := r.ResidentWords(); rw > 16 {
+			t.Fatalf("switch %d: ResidentWords = %d exceeds capacity", i, rw)
+		}
+		if !r.Resident(sp) {
+			t.Fatalf("switch %d: current frame not refilled", i)
+		}
+	}
+}

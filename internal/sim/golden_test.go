@@ -53,6 +53,27 @@ func goldenConfigs() []struct {
 	}
 }
 
+// familyConfigs cover the stack-stress families: the SVF and the RSE with
+// rapid context switching layered on top of the families' own $sp churn
+// (flushes landing amid squashes and window slides), plus the gshare stack
+// cache.
+func familyConfigs() []struct {
+	label string
+	opt   Options
+} {
+	return []struct {
+		label string
+		opt   Options
+	}{
+		{"svf16x2ctx", Options{Policy: pipeline.PolicySVF, StackPorts: 2,
+			MaxInsts: goldenInsts, CtxSwitchPeriod: 10_000}},
+		{"sc4gshare", Options{Machine: pipeline.FourWide(), Policy: pipeline.PolicyStackCache,
+			StackPorts: 2, Predictor: PredGshare, MaxInsts: goldenInsts, CtxSwitchPeriod: 20_000}},
+		{"rse8ctx", Options{Machine: pipeline.EightWide(), Policy: pipeline.PolicyRSE,
+			MaxInsts: goldenInsts, CtxSwitchPeriod: 10_000}},
+	}
+}
+
 func goldenKey(bench, label string) string { return bench + "/" + label }
 
 // TestGoldenDeterminism runs every Table 1 profile at 50k instructions
@@ -63,18 +84,30 @@ func goldenKey(bench, label string) string { return bench + "/" + label }
 func TestGoldenDeterminism(t *testing.T) {
 	path := filepath.Join("testdata", "golden_stats.json")
 	got := map[string]goldenRecord{}
-	for _, prof := range synth.Benchmarks() {
-		for _, c := range goldenConfigs() {
-			r, err := Run(prof, c.opt)
-			if err != nil {
-				t.Fatalf("%s/%s: %v", prof.ID(), c.label, err)
-			}
-			got[goldenKey(prof.ID(), c.label)] = goldenRecord{
-				Pipe: r.Pipe, IL1: r.IL1, DL1: r.DL1, UL2: r.UL2,
-				MemAccesses: r.MemAccesses,
-				SVFQWIn:     r.SVFQWIn, SVFQWOut: r.SVFQWOut,
-				SCQWIn: r.SCQWIn, SCQWOut: r.SCQWOut,
-				RSEQWIn: r.RSEQWIn, RSEQWOut: r.RSEQWOut,
+	sets := []struct {
+		profs []*synth.Profile
+		cfgs  []struct {
+			label string
+			opt   Options
+		}
+	}{
+		{synth.Benchmarks(), goldenConfigs()},
+		{synth.Families(), familyConfigs()},
+	}
+	for _, set := range sets {
+		for _, prof := range set.profs {
+			for _, c := range set.cfgs {
+				r, err := Run(prof, c.opt)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", prof.ID(), c.label, err)
+				}
+				got[goldenKey(prof.ID(), c.label)] = goldenRecord{
+					Pipe: r.Pipe, IL1: r.IL1, DL1: r.DL1, UL2: r.UL2,
+					MemAccesses: r.MemAccesses,
+					SVFQWIn:     r.SVFQWIn, SVFQWOut: r.SVFQWOut,
+					SCQWIn: r.SCQWIn, SCQWOut: r.SCQWOut,
+					RSEQWIn: r.RSEQWIn, RSEQWOut: r.RSEQWOut,
+				}
 			}
 		}
 	}

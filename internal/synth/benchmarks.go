@@ -125,9 +125,15 @@ func X86Variant(p *Profile) *Profile {
 	return &q
 }
 
-// ByName returns the profile whose Name or ID matches name, or nil.
+// ByName returns the profile whose Name or ID matches name, or nil. Both
+// the SPECint benchmark inputs and the stack-stress families resolve.
 func ByName(name string) *Profile {
 	for _, p := range BenchmarkInputs() {
+		if p.Name == name || p.ID() == name {
+			return p
+		}
+	}
+	for _, p := range Families() {
 		if p.Name == name || p.ID() == name {
 			return p
 		}

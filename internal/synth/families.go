@@ -1,0 +1,156 @@
+package synth
+
+// This file defines the four stack-stress workload families that go beyond
+// the SPECint2000 set of Table 1. Where the SPEC profiles reproduce the
+// paper's measured behaviour, these families are chosen adversarially: they
+// drive the SVF/RSE flush, spill, and $sp-relocation machinery into corners
+// the compiled-C workloads never reach.
+//
+//   - vm.stack: a bytecode-interpreter operand stack — almost every memory
+//     reference is a push or pop within a few words of TOS.
+//   - recurse.deep: deep and mutual recursion whose live frames exceed the
+//     8KB SVF's 1024-word window by more than 10×.
+//   - coro.switch: coroutine-style stack switching — $sp relocates across
+//     stacks every couple thousand instructions, versus the timing model's
+//     400k-instruction context switch.
+//   - alloca.dyn: alloca-style dynamic frames — $sp moves repeatedly inside
+//     a frame and is restored with a computed update at function exit.
+
+// Families returns the four stack-stress family profiles.
+func Families() []*Profile {
+	return []*Profile{StackVM(), DeepRecursion(), Coroutines(), AllocaFrames()}
+}
+
+// StackVM models a bytecode-interpreter dispatch loop: tiny operand-stack
+// frames, dense push/pop traffic at offsets of a word or two from TOS,
+// bytecode fetched from read-only memory, and a hard-to-predict dispatch
+// branch. Nearly all stack references are $sp-relative spill/reload pairs —
+// the regime where the SVF's rename path replaces the whole DL1 round trip.
+func StackVM() *Profile {
+	return mk("vm.stack", 401, func(p *Profile) {
+		p.Input = "interp"
+		p.MemFrac = 0.52
+		p.LoadFrac = 0.55
+		p.StackFrac = 0.88
+		p.HeapFrac = 0.30
+		p.ROFrac = 0.35 // bytecode stream reads
+		p.SPFrac = 0.96
+		p.FPFrac = 0.01
+		p.NumFuncs = 12
+		p.FrameWordsMin, p.FrameWordsMax = 4, 10
+		p.BodyLenMin, p.BodyLenMax = 8, 20
+		p.CallFrac = 0.04
+		p.LoopFrac = 0.55 // the dispatch loop
+		p.LoopTripMin, p.LoopTripMax = 16, 128
+		p.DepthTypicalWords = 40
+		p.DepthBurstWords = 120
+		p.BurstProb = 0.02
+		p.RecurseFrac = 0.05
+		p.LocalOffsetGeom = 0.85 // pushes/pops at TOS ± a word
+		p.DeepFrac = 0.03
+		p.DeepMaxWords = 24
+		p.SpillReloadFrac = 0.55
+		p.BranchFrac = 0.16
+		p.BranchBias = 0.70
+		p.HardBranchFrac = 0.30 // opcode dispatch is data-dependent
+		p.InvocationLen = 400
+		p.EpisodeLen = 50000
+		p.SubtreeLen = 8000
+	})
+}
+
+// DeepRecursion models deep and mutual recursion over a small cyclic call
+// graph: tiny frames stacked thousands deep, with burst depths past 14000
+// words — more than 13× the 1024-word window of an 8KB SVF — so window
+// slides, spills, and the pipeline's $sp shadow are exercised far outside
+// the offset-tracking sweet spot.
+func DeepRecursion() *Profile {
+	return mk("recurse.deep", 402, func(p *Profile) {
+		p.Input = "deep"
+		p.MemFrac = 0.44
+		p.StackFrac = 0.72
+		p.SPFrac = 0.80
+		p.FPFrac = 0.06
+		p.NumFuncs = 10 // small graph: cycles give mutual recursion
+		p.FrameWordsMin, p.FrameWordsMax = 3, 8
+		p.BodyLenMin, p.BodyLenMax = 8, 18
+		p.CallFrac = 0.18
+		p.LoopFrac = 0.08
+		p.LoopTripMin, p.LoopTripMax = 2, 6
+		p.DepthTypicalWords = 5200
+		p.DepthBurstWords = 14000
+		p.BurstProb = 0.35
+		p.RecurseFrac = 0.55
+		p.LocalOffsetGeom = 0.50
+		p.DeepFrac = 0.30
+		p.DeepMaxWords = 2048
+		p.DeepSkew = 2
+		p.SpillReloadFrac = 0.35
+		p.InvocationLen = 60 // short bodies, rapid call/return churn
+		p.EpisodeLen = 120000
+		p.SubtreeLen = 60000
+	})
+}
+
+// Coroutines models cooperative coroutine scheduling over eight stacks:
+// every couple thousand instructions $sp relocates to another stack exactly
+// one 8KB SVF window away, forcing a full spill-and-invalidate slide (or an
+// RSE whole-stack migration) at a rate hundreds of times the timing model's
+// periodic context switch.
+func Coroutines() *Profile {
+	return mk("coro.switch", 403, func(p *Profile) {
+		p.Input = "switch"
+		p.MemFrac = 0.45
+		p.StackFrac = 0.75
+		p.SPFrac = 0.88
+		p.FPFrac = 0.03
+		p.NumFuncs = 24
+		p.FrameWordsMin, p.FrameWordsMax = 6, 20
+		p.DepthTypicalWords = 220
+		p.DepthBurstWords = 700
+		p.BurstProb = 0.08
+		p.RecurseFrac = 0.15
+		p.LocalOffsetGeom = 0.45
+		p.DeepFrac = 0.15
+		p.DeepMaxWords = 256
+		p.SpillReloadFrac = 0.40
+		p.NumCoroutines = 8
+		p.CoroutineSpacingWords = 1024 // one full 8KB SVF window apart
+		p.SwitchPeriodInsts = 1800
+		p.InvocationLen = 200
+		p.EpisodeLen = 40000
+		p.SubtreeLen = 10000
+	})
+}
+
+// AllocaFrames models functions with alloca-style dynamic frames: $sp
+// creeps downward inside a frame as allocations execute (often by computed
+// amounts) and snaps back with a computed restore at function exit, so the
+// SVF sees intra-frame window slides and the decode interlock fires on the
+// non-immediate updates. Locals are reached through $fp since $sp keeps
+// moving.
+func AllocaFrames() *Profile {
+	return mk("alloca.dyn", 404, func(p *Profile) {
+		p.Input = "dyn"
+		p.MemFrac = 0.43
+		p.StackFrac = 0.68
+		p.SPFrac = 0.62
+		p.FPFrac = 0.25
+		p.NumFuncs = 20
+		p.FrameWordsMin, p.FrameWordsMax = 8, 32
+		p.DepthTypicalWords = 300
+		p.DepthBurstWords = 900
+		p.BurstProb = 0.10
+		p.RecurseFrac = 0.18
+		p.LocalOffsetGeom = 0.35
+		p.DeepFrac = 0.15
+		p.DeepMaxWords = 256
+		p.SpillReloadFrac = 0.30
+		p.NonImmSPFrac = 0.05
+		p.AllocaFrac = 0.10
+		p.AllocaWordsMin, p.AllocaWordsMax = 2, 48
+		p.InvocationLen = 220
+		p.EpisodeLen = 50000
+		p.SubtreeLen = 14000
+	})
+}

@@ -1,0 +1,245 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+
+	"svf/internal/isa"
+	"svf/internal/regions"
+)
+
+func TestFamilySetValid(t *testing.T) {
+	fams := Families()
+	if len(fams) != 4 {
+		t.Fatalf("Families() returned %d profiles, want 4", len(fams))
+	}
+	seen := map[string]bool{}
+	for _, p := range fams {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", p.ID(), err)
+		}
+		if seen[p.ID()] {
+			t.Errorf("duplicate family id %q", p.ID())
+		}
+		seen[p.ID()] = true
+	}
+	if ByName("vm.stack") == nil || ByName("coro.switch.switch") == nil {
+		t.Error("ByName should resolve families by name and id")
+	}
+}
+
+// TestProfileErrorsTyped checks that each validation failure surfaces as a
+// *ProfileError naming the offending field — callers (the CLIs) match on it.
+func TestProfileErrorsTyped(t *testing.T) {
+	cases := []struct {
+		field string
+		mut   func(*Profile)
+	}{
+		{"CallFrac+BranchFrac+MemFrac", func(p *Profile) {
+			p.CallFrac, p.BranchFrac, p.MemFrac = 0.40, 0.30, 0.30
+		}},
+		{"DepthBurstWords", func(p *Profile) {
+			// 60M burst words × the 1.3 headroom exceed the 64M-word
+			// modeled stack region: $sp would wrap.
+			p.DepthTypicalWords = 1000
+			p.DepthBurstWords = 60_000_000
+		}},
+		{"CoroutineSpacingWords", func(p *Profile) {
+			p.NumCoroutines = 4
+			p.SwitchPeriodInsts = 1000
+			p.CoroutineSpacingWords = 10 // stacks would overlap
+		}},
+		{"CoroutineSpacingWords", func(p *Profile) {
+			p.NumCoroutines = 256
+			p.SwitchPeriodInsts = 1000
+			p.CoroutineSpacingWords = 2_000_000 // span overflows int32
+		}},
+		{"SwitchPeriodInsts", func(p *Profile) {
+			p.NumCoroutines = 2
+			p.CoroutineSpacingWords = 4096
+			p.SwitchPeriodInsts = 10
+		}},
+		{"AllocaWords", func(p *Profile) {
+			p.AllocaFrac = 0.10 // bounds left at zero
+		}},
+		{"AllocaFrac", func(p *Profile) {
+			p.AllocaFrac = 0.75
+		}},
+	}
+	for _, c := range cases {
+		p := *Bzip2()
+		c.mut(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Errorf("%s: mutation passed validation", c.field)
+			continue
+		}
+		var pe *ProfileError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: error is %T, want *ProfileError", c.field, err)
+			continue
+		}
+		if pe.Field != c.field {
+			t.Errorf("Field = %q, want %q (%v)", pe.Field, c.field, err)
+		}
+	}
+}
+
+// TestFamilyTracesWellFormed applies the structural trace invariants to the
+// four stress families, with the depth bound widened to each family's own
+// worst case (coroutine stacks sit below one another, so $sp legitimately
+// ranges over the whole span).
+func TestFamilyTracesWellFormed(t *testing.T) {
+	layout := regions.DefaultLayout()
+	for _, prof := range Families() {
+		prof := prof
+		t.Run(prof.ID(), func(t *testing.T) {
+			t.Parallel()
+			g, err := NewGenerator(prof)
+			if err != nil {
+				t.Fatal(err)
+			}
+			maxDepth := uint64(prof.WorstDepthWords())*isa.WordSize + 4096
+			var in isa.Inst
+			var sp uint64
+			spKnown := false
+			calls, rets := 0, 0
+			for i := 0; i < 300000; i++ {
+				if !g.Next(&in) {
+					t.Fatal("generator exhausted")
+				}
+				switch in.Kind {
+				case isa.KindSPAdjust:
+					if !spKnown {
+						sp = layout.StackBase - 4096
+						spKnown = true
+					}
+					sp = uint64(int64(sp) + int64(in.Imm))
+					if sp > layout.StackBase {
+						t.Fatalf("inst %d: sp rose above the stack base", i)
+					}
+					if d := layout.StackBase - sp; d > maxDepth {
+						t.Fatalf("inst %d: depth %d exceeds the family bound %d", i, d, maxDepth)
+					}
+				case isa.KindLoad, isa.KindStore:
+					r := layout.Classify(in.Addr)
+					if r == regions.RegionOther || r == regions.RegionText {
+						t.Fatalf("inst %d: data access to %v (%#x)", i, r, in.Addr)
+					}
+					if r == regions.RegionStack {
+						if in.Addr%isa.WordSize != 0 {
+							t.Fatalf("inst %d: unaligned stack access %#x", i, in.Addr)
+						}
+						if spKnown && in.Addr < sp {
+							t.Fatalf("inst %d: reference beyond the TOS (%#x < sp %#x)", i, in.Addr, sp)
+						}
+						if in.SPRelative() && spKnown {
+							if want := uint64(int64(sp) + int64(in.Imm)); want != in.Addr {
+								t.Fatalf("inst %d: $sp-relative address mismatch: %#x vs %#x", i, in.Addr, want)
+							}
+						}
+					}
+				case isa.KindCall:
+					calls++
+				case isa.KindReturn:
+					rets++
+				}
+			}
+			if calls == 0 || rets == 0 {
+				t.Fatalf("no call/return activity (calls=%d rets=%d)", calls, rets)
+			}
+			if diff := calls - rets; diff < 0 || diff > maxFrames {
+				t.Fatalf("call/return imbalance: %d", diff)
+			}
+		})
+	}
+}
+
+// TestCoroutineSwitchCadence checks the stack-switching machinery: $sp
+// relocations of at least one coroutine spacing happen at roughly the
+// configured period, and all of them issue from the single dedicated
+// switch-thunk PC.
+func TestCoroutineSwitchCadence(t *testing.T) {
+	prof := Coroutines()
+	g, err := NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const insts = 200000
+	spacingBytes := int64(prof.CoroutineSpacingWords) * isa.WordSize
+	var in isa.Inst
+	switches := 0
+	pcs := map[uint64]bool{}
+	for i := 0; i < insts; i++ {
+		g.Next(&in)
+		if in.Kind != isa.KindSPAdjust {
+			continue
+		}
+		d := int64(in.Imm)
+		if d < 0 {
+			d = -d
+		}
+		// Ordinary frame and deep-alloc adjusts stay far below one
+		// coroutine spacing; only stack switches cross it.
+		if d >= spacingBytes {
+			switches++
+			pcs[in.PC] = true
+			if in.SPImmediate() {
+				t.Errorf("switch at inst %d used an immediate update; relocations are computed", i)
+			}
+		}
+	}
+	// Period 1800 with ±50% jitter over 200k instructions: ~111 expected.
+	if switches < 60 || switches > 300 {
+		t.Fatalf("observed %d stack switches, want ~%d", switches, insts/prof.SwitchPeriodInsts)
+	}
+	if len(pcs) != 1 {
+		t.Errorf("switches issued from %d PCs, want the single thunk", len(pcs))
+	}
+}
+
+// TestAllocaVariedIntraFrameMotion checks the dynamic-frame machinery: with
+// deep allocs disabled, every fixed frame adjust has one delta per PC, so
+// any $sp-adjust site issuing *different* deltas across executions is alloca
+// motion — the runtime-drawn allocations and the computed accumulated
+// restore at function exit.
+func TestAllocaVariedIntraFrameMotion(t *testing.T) {
+	prof := AllocaFrames()
+	prof.DeepFrac = 0
+	g, err := NewGenerator(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var in isa.Inst
+	negByPC := map[uint64]map[int32]bool{}
+	posByPC := map[uint64]map[int32]bool{}
+	for i := 0; i < 300000; i++ {
+		g.Next(&in)
+		if in.Kind != isa.KindSPAdjust {
+			continue
+		}
+		byPC := posByPC
+		if in.Imm < 0 {
+			byPC = negByPC
+		}
+		if byPC[in.PC] == nil {
+			byPC[in.PC] = map[int32]bool{}
+		}
+		byPC[in.PC][in.Imm] = true
+	}
+	varied := func(m map[uint64]map[int32]bool) int {
+		n := 0
+		for _, deltas := range m {
+			if len(deltas) >= 2 {
+				n++
+			}
+		}
+		return n
+	}
+	if varied(negByPC) == 0 {
+		t.Error("no allocation site drew varying alloca sizes")
+	}
+	if varied(posByPC) == 0 {
+		t.Error("no release site restored varying accumulated totals")
+	}
+}

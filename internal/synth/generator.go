@@ -32,6 +32,18 @@ type Generator struct {
 	// brCount is the per-template execution counter driving periodic
 	// branch patterns.
 	brCount []uint32
+
+	// Coroutine state (NumCoroutines > 1 only). ctxs holds the suspended
+	// stacks; the fields above always describe the running coroutine.
+	ctxs       []coroCtx
+	cur        int    // index of the running coroutine
+	nextSwitch uint64 // emitted count of the next stack switch
+}
+
+// coroCtx is one suspended coroutine stack.
+type coroCtx struct {
+	sp, sp0 uint64
+	frames  []actFrame
 }
 
 type actFrame struct {
@@ -42,6 +54,9 @@ type actFrame struct {
 	own      int    // dynamic instructions executed in this frame
 	cap      int    // own-instruction budget before the invocation winds down
 	deadline uint64 // emitted count at which this frame's whole subtree winds down
+	// alloca is the number of bytes of dynamic allocation live in this
+	// frame; released by one computed $sp restore when the body ends.
+	alloca int32
 	// lowAddr is the frame's base (the value of $sp while the function
 	// body runs), recorded when the prologue's allocation executes.
 	lowAddr uint64
@@ -116,6 +131,62 @@ func (g *Generator) Reset() {
 	}
 	g.limitW = g.drawLimit()
 	g.scheduleRedraw()
+
+	g.ctxs = g.ctxs[:0]
+	g.cur = 0
+	g.nextSwitch = ^uint64(0)
+	if n := prof.NumCoroutines; n > 1 {
+		spacing := uint64(prof.CoroutineSpacingWords) * isa.WordSize
+		for k := 0; k < n; k++ {
+			base := g.prog.Layout.StackBase - 4096 - uint64(k)*spacing
+			c := coroCtx{sp: base, sp0: base}
+			c.frames = append(c.frames, actFrame{fn: g.prog.funcs[0], cap: g.drawCap(), deadline: ^uint64(0)})
+			g.ctxs = append(g.ctxs, c)
+		}
+		// Adopt coroutine 0 (it shares the single-stack entry $sp).
+		g.sp, g.sp0 = g.ctxs[0].sp, g.ctxs[0].sp0
+		g.frames = g.ctxs[0].frames
+		g.scheduleSwitch()
+	}
+}
+
+// scheduleSwitch picks when the next coroutine switch fires.
+func (g *Generator) scheduleSwitch() {
+	p := float64(g.prog.Prof.SwitchPeriodInsts)
+	g.nextSwitch = g.emitted + 1 + uint64(p*(0.5+g.rng.Float64()))
+}
+
+// stepSwitch suspends the running coroutine and resumes the next one,
+// emitting the swapcontext-style $sp relocation: one computed (never
+// immediate) update that moves the stack pointer across stacks.
+func (g *Generator) stepSwitch(in *isa.Inst) {
+	c := &g.ctxs[g.cur]
+	c.sp = g.sp
+	c.frames = g.frames
+	g.cur = (g.cur + 1) % len(g.ctxs)
+	n := &g.ctxs[g.cur]
+	delta := int64(n.sp) - int64(g.sp)
+	g.sp, g.sp0 = n.sp, n.sp0
+	g.frames = n.frames
+	g.emitSPAdjust(in, g.prog.switchPC, int32(delta), false)
+	g.scheduleSwitch()
+}
+
+// stackFloor returns the lowest address the running stack may grow to:
+// the modeled region base (plus a guard page), or — under coroutines —
+// the next coroutine's stack base. Allocations are suppressed at the
+// floor, so $sp can neither wrap below the region nor scribble over a
+// neighbouring coroutine stack.
+func (g *Generator) stackFloor() uint64 {
+	layout := g.prog.Layout
+	floor := layout.StackBase - layout.StackMax + 4096
+	if len(g.ctxs) > 0 {
+		spacing := uint64(g.prog.Prof.CoroutineSpacingWords) * isa.WordSize
+		if f := g.ctxs[g.cur].sp0 - spacing + 256; f > floor {
+			floor = f
+		}
+	}
+	return floor
 }
 
 // scheduleRedraw picks when the current depth episode ends.
@@ -186,8 +257,23 @@ func (g *Generator) drawSubtree() uint64 {
 // Next implements trace.Stream. The generator never exhausts; wrap it in a
 // trace.Limit (or stop reading) to bound the run.
 func (g *Generator) Next(in *isa.Inst) bool {
+	if len(g.ctxs) > 0 && g.emitted >= g.nextSwitch {
+		g.stepSwitch(in)
+		g.emitted++
+		return true
+	}
 	f := &g.frames[len(g.frames)-1]
 	fn := f.fn
+	if f.alloca != 0 && f.ti >= fn.bodyEnd {
+		// The body is done: release the frame's dynamic allocations with
+		// one computed $sp restore (a frame-pointer epilogue), so the
+		// save-slot reloads that follow see their prologue addresses.
+		g.sp += uint64(f.alloca)
+		g.emitSPAdjust(in, fn.tmpls[fn.bodyEnd].pc, f.alloca, false)
+		f.alloca = 0
+		g.emitted++
+		return true
+	}
 	if f.ti >= len(fn.tmpls) {
 		// Only main can fall off its end: wrap its body as the outer
 		// event loop.
@@ -260,6 +346,23 @@ func (g *Generator) Next(in *isa.Inst) bool {
 		f.lowAddr = g.sp
 		g.emitSPAdjust(in, t.pc, -fn.frameBytes(), !t.nonImm)
 		f.ti++
+	case tAlloca:
+		words := int(t.tripMin)
+		if t.tripMax > t.tripMin {
+			words += g.rng.IntN(int(t.tripMax-t.tripMin) + 1)
+		}
+		bytes := int32(words) * isa.WordSize
+		if bytes > 0 && g.sp-uint64(bytes) > g.stackFloor() &&
+			int(g.DepthWords())+words <= g.limitW {
+			g.sp -= uint64(bytes)
+			f.alloca += bytes
+			g.emitSPAdjust(in, t.pc, -bytes, !t.nonImm)
+		} else {
+			// At the region floor the allocation is suppressed and the
+			// slot degrades to compute, like a guarded alloca that fails.
+			g.emitALU(in, t, isa.KindALU)
+		}
+		f.ti++
 	case tFrameFree:
 		g.sp += uint64(fn.frameBytes())
 		g.emitSPAdjust(in, t.pc, fn.frameBytes(), true)
@@ -281,7 +384,8 @@ func (g *Generator) stepCall(in *isa.Inst, f *actFrame, t *tmpl, capped bool) {
 	}
 	callee := g.prog.funcs[t.callee]
 	depthW := int(g.DepthWords())
-	execute := !capped && depthW+callee.frameWords <= g.limitW && len(g.frames) < maxFrames
+	execute := !capped && depthW+callee.frameWords <= g.limitW && len(g.frames) < maxFrames &&
+		g.sp-uint64(callee.frameBytes()) > g.stackFloor()
 	if execute {
 		// Depth pressure: below 35% of the episode target, calls always
 		// execute so the stack grows quickly; approaching the target the

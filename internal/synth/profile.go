@@ -13,6 +13,9 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+
+	"svf/internal/isa"
+	"svf/internal/regions"
 )
 
 // Profile parameterises one synthetic benchmark workload.
@@ -165,6 +168,29 @@ type Profile struct {
 	// graph would dwell in one subtree for the whole run; with it the
 	// dispatcher cycles across the program's functions on this timescale.
 	SubtreeLen int
+
+	// NumCoroutines, when > 1, splits execution across that many
+	// coroutine stacks. The generator round-robins between them,
+	// relocating $sp with a single computed update at each switch — the
+	// rapid stack-switching regime far beyond the timing model's periodic
+	// context switch. Zero or one means ordinary single-stack execution.
+	NumCoroutines int
+	// CoroutineSpacingWords is the gap (in 64-bit words) between adjacent
+	// coroutine stack bases. It must exceed the deepest stack any one
+	// coroutine can reach, or the stacks would overlap.
+	CoroutineSpacingWords int
+	// SwitchPeriodInsts is the mean number of dynamic instructions
+	// between coroutine switches.
+	SwitchPeriodInsts int
+
+	// AllocaFrac is the probability that a non-main body slot is an
+	// alloca-style dynamic allocation: $sp moves down mid-frame and the
+	// space is released only when the function returns (via a computed
+	// $sp restore, as a frame-pointer epilogue would).
+	AllocaFrac float64
+	// AllocaWordsMin/Max bound the size of one dynamic allocation in
+	// 64-bit words.
+	AllocaWordsMin, AllocaWordsMax int
 }
 
 // ID returns the "name.input" identifier used in the paper's tables.
@@ -186,13 +212,43 @@ func (p *Profile) Fingerprint() string {
 	return hex.EncodeToString(h[:16])
 }
 
+// ProfileError is a typed validation error: it names the offending field so
+// callers can distinguish parameter-range mistakes from structural
+// impossibilities (overlapping coroutine stacks, a stack footprint that
+// overflows the modeled region) without parsing message text.
+type ProfileError struct {
+	// Profile is the profile's ID().
+	Profile string
+	// Field names the parameter (or parameter combination) at fault.
+	Field string
+	// Reason describes the violation.
+	Reason string
+}
+
+func (e *ProfileError) Error() string {
+	return fmt.Sprintf("synth: profile %s: %s: %s", e.Profile, e.Field, e.Reason)
+}
+
+// depthNoise is the generator's worst-case episode-to-episode depth
+// overshoot factor (drawLimit draws up to 1.2× the burst target; one extra
+// frame can land past the cap before the guard bites).
+const depthNoise = 1.3
+
+// WorstDepthWords returns the deepest stack footprint (in words, below the
+// first coroutine's entry $sp) the generator can reach under this profile.
+func (p *Profile) WorstDepthWords() int {
+	w := int(float64(p.DepthBurstWords)*depthNoise) + p.FrameWordsMax
+	if p.NumCoroutines > 1 {
+		w += (p.NumCoroutines - 1) * p.CoroutineSpacingWords
+	}
+	return w
+}
+
 // Validate checks that the profile's parameters are internally consistent.
+// Every failure is a *ProfileError.
 func (p *Profile) Validate() error {
-	check := func(name string, v, lo, hi float64) error {
-		if v < lo || v > hi {
-			return fmt.Errorf("synth: profile %s: %s = %g out of [%g, %g]", p.ID(), name, v, lo, hi)
-		}
-		return nil
+	bad := func(field, format string, args ...any) *ProfileError {
+		return &ProfileError{Profile: p.ID(), Field: field, Reason: fmt.Sprintf(format, args...)}
 	}
 	for _, c := range []struct {
 		name   string
@@ -201,6 +257,7 @@ func (p *Profile) Validate() error {
 	}{
 		{"MemFrac", p.MemFrac, 0.05, 0.9},
 		{"LoadFrac", p.LoadFrac, 0, 1},
+		{"MultFrac", p.MultFrac, 0, 1},
 		{"StackFrac", p.StackFrac, 0, 1},
 		{"HeapFrac", p.HeapFrac, 0, 1},
 		{"ROFrac", p.ROFrac, 0, 1},
@@ -208,36 +265,90 @@ func (p *Profile) Validate() error {
 		{"FPFrac", p.FPFrac, 0, 1},
 		{"SPFrac+FPFrac", p.SPFrac + p.FPFrac, 0, 1},
 		{"HeapFrac+ROFrac", p.HeapFrac + p.ROFrac, 0, 1},
+		{"CallFrac", p.CallFrac, 0, 0.9},
+		{"LoopFrac", p.LoopFrac, 0, 1},
+		{"BurstProb", p.BurstProb, 0, 1},
+		{"RecurseFrac", p.RecurseFrac, 0, 1},
+		{"LocalOffsetGeom", p.LocalOffsetGeom, 0, 0.999},
+		{"DeepFrac", p.DeepFrac, 0, 1},
+		{"AliasPairFrac", p.AliasPairFrac, 0, 1},
+		{"SpillReloadFrac", p.SpillReloadFrac, 0, 1},
+		{"BranchFrac", p.BranchFrac, 0, 0.6},
 		{"BranchBias", p.BranchBias, 0, 1},
+		{"HardBranchFrac", p.HardBranchFrac, 0, 1},
+		{"HotFrac", p.HotFrac, 0, 1},
+		{"NonImmSPFrac", p.NonImmSPFrac, 0, 1},
 		{"SubWordFrac", p.SubWordFrac, 0, 1},
+		{"AllocaFrac", p.AllocaFrac, 0, 0.5},
 	} {
-		if err := check(c.name, c.v, c.lo, c.hi); err != nil {
-			return err
+		if c.v < c.lo || c.v > c.hi {
+			return bad(c.name, "%g out of [%g, %g]", c.v, c.lo, c.hi)
 		}
 	}
+	// A body slot is a call, a branch, a memory reference, or compute; if
+	// the first three claim (nearly) everything the compute share is
+	// silently clamped and the drawn mix no longer matches the targets.
+	if sum := p.CallFrac + p.BranchFrac + p.MemFrac; sum > 0.95 {
+		return bad("CallFrac+BranchFrac+MemFrac", "%.3f leaves no room for compute (max 0.95): degenerate slot mix", sum)
+	}
 	if p.NumFuncs < 2 {
-		return fmt.Errorf("synth: profile %s: NumFuncs must be >= 2", p.ID())
+		return bad("NumFuncs", "%d must be >= 2", p.NumFuncs)
 	}
 	if p.FrameWordsMin < 2 || p.FrameWordsMax < p.FrameWordsMin {
-		return fmt.Errorf("synth: profile %s: bad frame bounds [%d, %d]", p.ID(), p.FrameWordsMin, p.FrameWordsMax)
+		return bad("FrameWords", "bad frame bounds [%d, %d]", p.FrameWordsMin, p.FrameWordsMax)
 	}
 	if p.BodyLenMin < 4 || p.BodyLenMax < p.BodyLenMin {
-		return fmt.Errorf("synth: profile %s: bad body bounds [%d, %d]", p.ID(), p.BodyLenMin, p.BodyLenMax)
+		return bad("BodyLen", "bad body bounds [%d, %d]", p.BodyLenMin, p.BodyLenMax)
 	}
 	if p.DepthTypicalWords <= 0 || p.DepthBurstWords < p.DepthTypicalWords {
-		return fmt.Errorf("synth: profile %s: bad depth targets (%d, %d)", p.ID(), p.DepthTypicalWords, p.DepthBurstWords)
+		return bad("DepthWords", "bad depth targets (%d, %d)", p.DepthTypicalWords, p.DepthBurstWords)
+	}
+	if p.DeepMaxWords < 0 {
+		return bad("DeepMaxWords", "%d negative", p.DeepMaxWords)
+	}
+	if p.GlobalFootprintWords < 0 || p.HeapFootprintWords < 0 {
+		return bad("FootprintWords", "negative footprint (%d, %d)", p.GlobalFootprintWords, p.HeapFootprintWords)
 	}
 	if p.LoopTripMin < 1 || p.LoopTripMax < p.LoopTripMin {
-		return fmt.Errorf("synth: profile %s: bad loop trips [%d, %d]", p.ID(), p.LoopTripMin, p.LoopTripMax)
+		return bad("LoopTrip", "bad loop trips [%d, %d]", p.LoopTripMin, p.LoopTripMax)
 	}
 	if p.InvocationLen < 40 {
-		return fmt.Errorf("synth: profile %s: InvocationLen %d too small (min 40)", p.ID(), p.InvocationLen)
+		return bad("InvocationLen", "%d too small (min 40)", p.InvocationLen)
 	}
 	if p.EpisodeLen < 1000 {
-		return fmt.Errorf("synth: profile %s: EpisodeLen %d too small (min 1000)", p.ID(), p.EpisodeLen)
+		return bad("EpisodeLen", "%d too small (min 1000)", p.EpisodeLen)
 	}
 	if p.SubtreeLen < p.InvocationLen {
-		return fmt.Errorf("synth: profile %s: SubtreeLen %d smaller than InvocationLen %d", p.ID(), p.SubtreeLen, p.InvocationLen)
+		return bad("SubtreeLen", "%d smaller than InvocationLen %d", p.SubtreeLen, p.InvocationLen)
+	}
+	if p.NumCoroutines < 0 || p.NumCoroutines > 256 {
+		return bad("NumCoroutines", "%d out of [0, 256]", p.NumCoroutines)
+	}
+	if p.NumCoroutines > 1 {
+		if p.SwitchPeriodInsts < 50 {
+			return bad("SwitchPeriodInsts", "%d too small (min 50)", p.SwitchPeriodInsts)
+		}
+		// Each coroutine's stack must fit in its slot between adjacent
+		// stack bases; otherwise a deep coroutine silently scribbles over
+		// its neighbour.
+		need := int(float64(p.DepthBurstWords)*depthNoise) + p.FrameWordsMax
+		if p.CoroutineSpacingWords <= need {
+			return bad("CoroutineSpacingWords", "%d words <= worst-case coroutine depth %d: coroutine stacks would overlap", p.CoroutineSpacingWords, need)
+		}
+		// The relocation delta between the two outermost coroutines must
+		// fit the instruction immediate.
+		if span := int64(p.NumCoroutines-1) * int64(p.CoroutineSpacingWords) * isa.WordSize; span+int64(p.DepthBurstWords)*isa.WordSize*2 >= 1<<31 {
+			return bad("CoroutineSpacingWords", "coroutine span %d bytes overflows the 32-bit $sp relocation immediate", span)
+		}
+	}
+	if p.AllocaFrac > 0 && (p.AllocaWordsMin < 1 || p.AllocaWordsMax < p.AllocaWordsMin) {
+		return bad("AllocaWords", "bad alloca bounds [%d, %d]", p.AllocaWordsMin, p.AllocaWordsMax)
+	}
+	// The worst-case footprint must fit the modeled stack region below
+	// the 4KB entry gap, or $sp wraps below the region base and every
+	// downstream classifier sees garbage addresses.
+	if avail := int(regions.DefaultStackMax/isa.WordSize) - 4096/isa.WordSize; p.WorstDepthWords() > avail {
+		return bad("DepthBurstWords", "worst-case stack footprint %d words overflows the %d-word modeled stack region: $sp would wrap", p.WorstDepthWords(), avail)
 	}
 	return nil
 }

@@ -25,6 +25,7 @@ const (
 	tFrameFree  // $sp += frame bytes (epilogue)
 	tFPSet      // $fp ← $sp
 	tRet        // return through $ra
+	tAlloca     // $sp -= run-time-drawn bytes (dynamic allocation)
 )
 
 // space says which data region a tMem template touches.
@@ -92,6 +93,9 @@ type Program struct {
 	// totalTmpls counts templates across all functions (sizing
 	// per-generator state).
 	totalTmpls int
+	// switchPC is the PC of the coroutine-switch thunk (the swapcontext
+	// routine's $sp relocation), laid out after the last function.
+	switchPC uint64
 }
 
 // NumFuncs returns the number of functions in the program.
@@ -279,6 +283,8 @@ func buildOnce(prof *Profile, memP, stackP float64, methodW [3]float64) (*Progra
 		pc += 16 // inter-function padding
 	}
 	p.totalTmpls = int(gid)
+	p.switchPC = pc // coroutine-switch thunk in the trailing padding
+	pc += 4
 	if pc >= p.Layout.TextBase+p.Layout.TextSize {
 		return nil, fmt.Errorf("synth: program text overflows region (%#x)", pc)
 	}
@@ -521,6 +527,20 @@ func (b *builder) emitBody(f *function, n, loopDepth int) {
 // it consumed.
 func (b *builder) emitSlot(f *function) int {
 	prof := b.prof
+	// Alloca-style dynamic allocation: $sp moves down mid-frame by a
+	// run-time-drawn amount. Never in main — its frame is immortal, so
+	// the space would leak and walk $sp off the region.
+	if prof.AllocaFrac > 0 && !b.isMain && b.rng.Float64() < prof.AllocaFrac {
+		f.tmpls = append(f.tmpls, tmpl{
+			kind:    tAlloca,
+			tripMin: int32(prof.AllocaWordsMin),
+			tripMax: int32(prof.AllocaWordsMax),
+			// Variable-size allocations subtract a computed amount;
+			// constant-size ones fold into an immediate.
+			nonImm: b.rng.Float64() < 0.5,
+		})
+		return 1
+	}
 	switch b.slotMix.Next() {
 	case 0: // call
 		callee := b.pickCallee(f)
