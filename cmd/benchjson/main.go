@@ -5,11 +5,13 @@
 // Usage:
 //
 //	go test ./internal/pipeline -run '^$' -bench . | benchjson -o BENCH.json \
-//	    -baseline BenchmarkPipelineRaw=2550154
+//	    -history BENCH_HISTORY.json
 //
-// Each -baseline flag records a reference insts/sec figure (for this repo:
-// the pre-event-driven-scheduler measurement on the same machine), and the
-// output includes the speedup of the current run against it.
+// By default the baseline insts/sec for each benchmark is read from the
+// committed BENCH.json itself (-baseline-from), so every new measurement
+// reports its speedup against the last recorded one without hand-copied
+// numbers. Explicit -baseline name=value flags override individual
+// benchmarks (e.g. for a reference figure measured outside this file).
 //
 // -history FILE additionally appends the run, stamped with the current UTC
 // time, to a JSON array of past runs: BENCH.json stays the latest
@@ -79,9 +81,19 @@ func (b baselines) Set(s string) error {
 func main() {
 	out := flag.String("o", "BENCH.json", "output file (- for stdout)")
 	history := flag.String("history", "", "also append this run, timestamped, to a JSON-array history file (e.g. BENCH_HISTORY.json)")
+	baseFrom := flag.String("baseline-from", "BENCH.json", "read per-benchmark baseline insts/sec from this existing BENCH.json (\"\" to disable; a missing file is skipped)")
 	base := baselines{}
-	flag.Var(base, "baseline", "reference insts/sec as name=value (repeatable); adds speedup_vs_baseline")
+	flag.Var(base, "baseline", "reference insts/sec as name=value (repeatable); overrides -baseline-from per benchmark")
 	flag.Parse()
+
+	// The committed file is read before anything is written, so -o and
+	// -baseline-from may (and by default do) name the same path.
+	if *baseFrom != "" {
+		if err := loadBaselines(*baseFrom, base); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: -baseline-from: %v\n", err)
+			os.Exit(1)
+		}
+	}
 
 	doc, err := parse(os.Stdin, base)
 	if err != nil {
@@ -110,6 +122,34 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// loadBaselines reads an existing BENCH.json and records each benchmark's
+// measured insts/sec as the baseline for the run being parsed, without
+// clobbering baselines given explicitly on the command line. A missing
+// file is not an error (first measurement on a fresh checkout); a
+// malformed one is.
+func loadBaselines(path string, base baselines) error {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	for _, b := range doc.Benchmarks {
+		if _, explicit := base[b.Name]; explicit {
+			continue
+		}
+		if ips, ok := b.Metrics["insts/sec"]; ok && ips > 0 {
+			base[b.Name] = ips
+		}
+	}
+	return nil
 }
 
 // appendHistory adds doc, stamped with now, to the JSON array in path. A

@@ -45,6 +45,59 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 }
 
+func TestLoadBaselinesFromCommittedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	committed := benchFile{Benchmarks: []benchResult{
+		{Name: "BenchmarkPipelineRaw", Metrics: map[string]float64{"insts/sec": 9341331}},
+		{Name: "BenchmarkCampaignCell", Metrics: map[string]float64{"insts/sec": 6170000}},
+		{Name: "BenchmarkNoMetric", Metrics: map[string]float64{}},
+	}}
+	raw, err := json.Marshal(committed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// An explicit -baseline flag must win over the file.
+	base := baselines{"BenchmarkCampaignCell": 123}
+	if err := loadBaselines(path, base); err != nil {
+		t.Fatal(err)
+	}
+	if base["BenchmarkPipelineRaw"] != 9341331 {
+		t.Errorf("baseline from file = %v, want 9341331", base["BenchmarkPipelineRaw"])
+	}
+	if base["BenchmarkCampaignCell"] != 123 {
+		t.Errorf("explicit baseline clobbered: %v", base["BenchmarkCampaignCell"])
+	}
+	if _, ok := base["BenchmarkNoMetric"]; ok {
+		t.Error("benchmark without insts/sec gained a baseline")
+	}
+
+	doc, err := parse(strings.NewReader(sampleBench), base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := doc.Benchmarks[0]
+	if b.BaselineInstsPerSec != 9341331 {
+		t.Errorf("parse did not use the file baseline: %+v", b)
+	}
+
+	// Missing file: silently no baselines (fresh checkout).
+	if err := loadBaselines(filepath.Join(t.TempDir(), "absent.json"), baselines{}); err != nil {
+		t.Errorf("missing baseline file should be skipped, got %v", err)
+	}
+	// Malformed file: loud error.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := loadBaselines(bad, baselines{}); err == nil {
+		t.Error("malformed baseline file did not error")
+	}
+}
+
 func TestAppendHistoryAccumulates(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_HISTORY.json")
 	doc, err := parse(strings.NewReader(sampleBench), nil)

@@ -24,6 +24,7 @@ import (
 
 	"svf/internal/experiments"
 	"svf/internal/regions"
+	"svf/internal/sim"
 	"svf/internal/synth"
 )
 
@@ -33,7 +34,9 @@ func main() {
 	series := flag.String("series", "", "dump one benchmark's Figure 2 depth series as CSV (benchmark id)")
 	verify := flag.Bool("verify", false, "check every profile's achieved mix against its calibration targets")
 	families := flag.Bool("families", false, "characterise the stack-stress workload families instead of the Table 1 SPEC profiles")
+	traceCacheMB := flag.Int64("trace-cache-mb", sim.DefaultTraceCacheBytes>>20, "memory budget (MiB) for the recorded-trace cache; 0 disables trace recording")
 	flag.Parse()
+	sim.SetTraceCacheBudget(*traceCacheMB << 20)
 
 	profiles := synth.Benchmarks()
 	if *families {

@@ -109,7 +109,9 @@ func run() int {
 	tracePerfetto := flag.String("trace-perfetto", "", "write a Chrome trace-event / Perfetto JSON stage timeline of one diagnostic run to this file")
 	traceBench := flag.String("trace-bench", "186.crafty.ref", "benchmark for the -trace-perfetto diagnostic run")
 	traceInsts := flag.Int("trace-insts", 20_000, "instruction budget for the -trace-perfetto diagnostic run")
+	traceCacheMB := flag.Int64("trace-cache-mb", sim.DefaultTraceCacheBytes>>20, "memory budget (MiB) for the recorded-trace cache; 0 disables trace recording")
 	flag.Parse()
+	sim.SetTraceCacheBudget(*traceCacheMB << 20)
 
 	policy, err := experiments.ParseFaultPolicy(*onFault)
 	if err != nil {

@@ -93,9 +93,12 @@ type Cache struct {
 	next  Level
 	sets  []line // sets*assoc lines, set-major
 	assoc int
-	// setShift/setMask extract the set index from an address.
+	// setShift/setMask extract the set index from an address; tagShift
+	// drops the offset and index bits in one shift (sets is a power of
+	// two, so the tag divide is exactly this shift).
 	setShift uint
 	setMask  uint64
+	tagShift uint
 	clock    uint64
 	stats    Stats
 }
@@ -119,6 +122,10 @@ func New(cfg Config, next Level) (*Cache, error) {
 	}
 	for sh := 0; cfg.LineBytes>>sh > 1; sh++ {
 		c.setShift++
+	}
+	c.tagShift = c.setShift
+	for s := sets; s > 1; s >>= 1 {
+		c.tagShift++
 	}
 	return c, nil
 }
@@ -144,6 +151,17 @@ func (c *Cache) Stats() Stats { return c.stats }
 // ResetStats zeroes the counters without touching cache contents.
 func (c *Cache) ResetStats() { c.stats = Stats{} }
 
+// Reset returns the cache to its just-built cold state — every line
+// invalid, counters and the LRU clock zeroed — without reallocating the
+// line array. A reset cache is indistinguishable from a fresh New of the
+// same configuration, which is what lets campaign runners recycle
+// hierarchies across cells.
+func (c *Cache) Reset() {
+	clear(c.sets)
+	c.clock = 0
+	c.stats = Stats{}
+}
+
 func (c *Cache) set(addr uint64) []line {
 	idx := (addr >> c.setShift) & c.setMask
 	return c.sets[idx*uint64(c.assoc) : (idx+1)*uint64(c.assoc)]
@@ -158,7 +176,7 @@ func (c *Cache) Access(addr uint64, write bool) int {
 	} else {
 		c.stats.Reads++
 	}
-	tag := (addr >> c.setShift) / (c.setMask + 1)
+	tag := addr >> c.tagShift
 	set := c.set(addr)
 	// Hit?
 	for i := range set {
@@ -212,7 +230,7 @@ func (c *Cache) writebackVictim(v line, probeAddr uint64) {
 // Probe reports whether addr currently hits without touching LRU state or
 // statistics (used by tests and by structures that must check residency).
 func (c *Cache) Probe(addr uint64) bool {
-	tag := (addr >> c.setShift) / (c.setMask + 1)
+	tag := addr >> c.tagShift
 	set := c.set(addr)
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
@@ -255,6 +273,12 @@ type Memory struct {
 
 // NewMemory returns a memory with the given latency.
 func NewMemory(latency int) *Memory { return &Memory{Latency: latency} }
+
+// Reset zeroes the access counters, returning the memory to its
+// just-built state.
+func (m *Memory) Reset() {
+	m.Accesses, m.ReadsCount, m.WritesCount = 0, 0, 0
+}
 
 // Access implements Level.
 func (m *Memory) Access(addr uint64, write bool) int {

@@ -57,6 +57,16 @@ func NewHierarchy(cfg HierarchyConfig) (*Hierarchy, error) {
 	return &Hierarchy{IL1: il1, DL1: dl1, UL2: ul2, Mem: mem}, nil
 }
 
+// Reset returns every level to its cold just-built state (all lines
+// invalid, all counters zero) without reallocating, so one hierarchy can
+// serve many runs of the same configuration.
+func (h *Hierarchy) Reset() {
+	h.IL1.Reset()
+	h.DL1.Reset()
+	h.UL2.Reset()
+	h.Mem.Reset()
+}
+
 // MustNewHierarchy is NewHierarchy panicking on error.
 func MustNewHierarchy(cfg HierarchyConfig) *Hierarchy {
 	h, err := NewHierarchy(cfg)

@@ -6,6 +6,8 @@ import (
 	"math/bits"
 	"strings"
 
+	"svf/internal/bpred"
+	"svf/internal/core"
 	"svf/internal/faultinject"
 	"svf/internal/isa"
 	"svf/internal/telemetry"
@@ -54,46 +56,57 @@ const (
 	routeRSE // register stack engine
 )
 
-// ruuEntry is one in-flight instruction.
-type ruuEntry struct {
-	inst       isa.Inst
-	seq        uint64
-	state      entryState
-	completeAt uint64
-	deps       [3]dep
-	ndeps      int8
-	// pending counts dependencies whose producers have not yet
-	// completed; the entry enters the ready queue when it hits zero.
-	pending int8
+// The RUU is laid out struct-of-arrays: the issue/commit/wakeup loops touch
+// one dense parallel slice per field they need instead of striding over
+// ~144-byte entry structs. ruuInfo packs every field the issue loop's
+// resource accounting reads into a single uint32 per slot, so selecting a
+// candidate costs one 4-byte load:
+//
+//	[0:16)  memLat        load-use latency resolved at dispatch
+//	bit 16  isMem         memory reference (route bits valid)
+//	bit 17  isMult        multiply (acquires an IntMult unit)
+//	bit 18  needsAGEN     extra issue slot + ALU for address generation
+//	bit 19  mispredict    mispredicted branch; refetch when it issues
+//	bit 20  cost1         morphed SVF/RSE store: half-port drain cost
+//	bit 21  forwarded     load satisfied by LSQ store forwarding
+//	[22:25) route         servicing structure
+//	[25:31) bank          SVF bank (precomputed; Bank() is pure in Addr)
+const (
+	infoLatMask    uint32 = 0xFFFF
+	infoIsMem      uint32 = 1 << 16
+	infoIsMult     uint32 = 1 << 17
+	infoAGEN       uint32 = 1 << 18
+	infoMispredict uint32 = 1 << 19
+	infoCost1      uint32 = 1 << 20
+	infoForwarded  uint32 = 1 << 21
+	infoRouteShift        = 22
+	infoBankShift         = 25
+)
 
-	route      route
-	rerouted   bool // SVF access that needed the post-AGEN bounds check
-	forwarded  bool // load satisfied by LSQ store forwarding
-	mispredict bool // conditional branch the predictor got wrong
-	needsAGEN  bool // consumes an extra issue slot + ALU for address generation
-	memLat     int32
-	lsqIdx     int32
+// infoRoute extracts the servicing structure.
+func infoRoute(info uint32) route { return route(info >> infoRouteShift & 7) }
 
-	// consumers lists the RUU indices of younger entries waiting on this
-	// one's completion (the wakeup network). The slice's capacity is
-	// retained across slot reuse to keep the hot loop allocation-free.
-	consumers []int32
-}
-
-// lsqEntry is one in-flight memory operation, in program order.
-type lsqEntry struct {
-	addr    uint64
-	seq     uint64
-	ruuIdx  int32
-	isStore bool
-	// gprStore marks stores that reached the SVF through a
-	// general-purpose register (the §3.2 collision hazard).
-	gprStore bool
+// lsqMeta is the cold side of one in-flight memory operation; the
+// program-order disambiguation walks read lsqAddr/lsqSeq, which stay in
+// their own dense slices.
+type lsqMeta struct {
+	ruuIdx int32
 	// prevStore chains to the next-older in-flight store to the same
 	// address (noDep if none at insert time); with the storeIdx map it
 	// makes findLSQStore O(same-address stores) instead of O(LSQ).
 	prevStore    int32
 	prevStoreSeq uint64
+	isStore      bool
+	// gprStore marks stores that reached the SVF through a
+	// general-purpose register (the §3.2 collision hazard).
+	gprStore bool
+}
+
+// consEdge is one wakeup-network link: consumer waits on the producer
+// whose ruuConsHead chain the edge is threaded onto.
+type consEdge struct {
+	consumer int32
+	next     int32
 }
 
 // lsqRef names an LSQ slot; seq detects slot reuse after commit.
@@ -152,8 +165,8 @@ func (s Stats) IPC() float64 {
 	return float64(s.Committed) / float64(s.Cycles)
 }
 
-// Pipeline is one configured machine instance. Create with New, drive with
-// Run.
+// Pipeline is one configured machine instance. Create with New (or recycle
+// through Reset / a Pool), drive with Run.
 //
 // The RUU, LSQ and IFQ rings are allocated at the next power of two above
 // their configured capacities so all index arithmetic is an AND with the
@@ -163,16 +176,48 @@ type Pipeline struct {
 	cfg MachineConfig
 	env Env
 
-	// RUU circular buffer.
-	ruu      []ruuEntry
+	// RUU circular buffer, struct-of-arrays (see the ruuInfo layout
+	// comment above). Hot per-cycle slices first; ruuInst is the cold
+	// side, read only at dispatch and for diagnostics/trace.
+	ruuState   []entryState
+	ruuPending []int8 // outstanding producers; ready at zero
+	ruuInfo    []uint32
+	ruuSeq     []uint64
+	ruuDone    []uint64 // completion cycle once issued
+	// ruuLive[i] == ruuSeq[i] while slot i's entry has not yet produced
+	// its value, 0 from its completion event on. It folds the
+	// three-load liveness test (state, seq, completion cycle) every
+	// dependency check performs into one load-and-compare: a dep
+	// {idx,seq} is outstanding iff ruuLive[idx] == seq. Slot reuse
+	// falls out of the same compare — a recycled slot carries the new
+	// entry's seq, which never matches a stale dep's.
+	ruuLive []uint64
+	// The wakeup network is an intrusive edge list: consEdges holds three
+	// preallocated edge slots per RUU entry (one per possible dependency,
+	// edge id = 3*consumer+depOrdinal), and ruuConsHead chains, per
+	// producer, the edges of the younger entries waiting on its
+	// completion (-1 = none). Linking a dependency is two stores and a
+	// head swap — no slice header traffic — and the hot loop never
+	// allocates. An edge fires exactly once (its producer completes
+	// exactly once before its consumer's slot can be reused), so waking
+	// consumers in reverse-link order is unobservable: pending
+	// decrements and ready-bit sets commute.
+	ruuConsHead []int32
+	consEdges   []consEdge
+	ruuInst     []isa.Inst
 	ruuMask  int
 	ruuHead  int
 	ruuCount int
-	// LSQ circular buffer.
-	lsq      []lsqEntry
+
+	// LSQ circular buffer, struct-of-arrays: addr/seq are what the
+	// disambiguation and commit paths scan; lsqMeta is the rest.
+	lsqAddr  []uint64
+	lsqSeq   []uint64
+	lsqMeta  []lsqMeta
 	lsqMask  int
 	lsqHead  int
 	lsqCount int
+
 	// IFQ circular buffer.
 	ifq      []ifqEntry
 	ifqMask  int
@@ -214,6 +259,11 @@ type Pipeline struct {
 	wheel      [wheelBuckets][]int32
 	overflow   []overflowEvent
 	eventCount int
+	// wheelSlab is the shared backing array the buckets start from, sized
+	// so a typical cycle's completions never grow a bucket onto the heap
+	// mid-run; a bucket that does outgrow its slab segment keeps its
+	// grown backing across Resets.
+	wheelSlab []int32
 
 	// storeIdx maps addresses to the youngest in-flight store in the
 	// LSQ; older same-address stores are reached through prevStore
@@ -227,11 +277,31 @@ type Pipeline struct {
 	svfProd     []dep
 	svfProdMask uint64
 
+	// depBuf/ndeps is dispatch's dependency scratch: deps are only live
+	// between dispatchInst collecting them and linkDeps installing them,
+	// so they never need a per-entry home in the RUU.
+	depBuf [3]dep
+	ndeps  int8
+
 	// Hot-path scalars hoisted out of Config() struct returns.
 	svfBanked   bool
 	svfInfinite bool
 	il1HitLat   int
 	scHitLat    int
+	// stackLo/stackSpan are the Layout's stack bounds, hoisted so the
+	// per-reference region test is one subtract-and-compare instead of a
+	// Layout.Classify call: addr-stackLo < stackSpan ⇔ InStack(addr).
+	stackLo   uint64
+	stackSpan uint64
+	// policy/svf mirror env.Stack.Policy/env.Stack.SVF so the
+	// per-reference routing switch loads one word off the Pipeline
+	// instead of chasing through the embedded Env.
+	policy StackPolicy
+	svf    *core.SVF
+	// predPerfect short-circuits the branch-predictor interface calls:
+	// the perfect predictor is stateless and always right, so fetch can
+	// skip Predict/Update entirely.
+	predPerfect bool
 
 	// decSP is the decode stage's speculative $sp copy.
 	decSP      uint64
@@ -246,83 +316,185 @@ type Pipeline struct {
 	// into a new line probes the instruction cache.
 	fetchBlock   uint64
 	fetchStallTo uint64 // IL1 miss service
+	// fetchFast is the stream devirtualized: when Run is driven by a
+	// replayed in-memory trace (the campaign common case after the trace
+	// cache), fetch calls the concrete SliceStream directly instead of
+	// through the interface.
+	fetchFast *trace.SliceStream
 
 	nextCtxSwitch uint64
 }
 
 // New builds a pipeline for the environment.
 func New(env Env) (*Pipeline, error) {
-	if err := env.Machine.Validate(); err != nil {
+	p := &Pipeline{}
+	if err := p.Reset(env); err != nil {
 		return nil, err
 	}
+	return p, nil
+}
+
+// resetSlice returns s resized to n with every element zeroed, reusing the
+// backing array when it is large enough.
+func resetSlice[T any](s []T, n int) []T {
+	if cap(s) >= n {
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	return make([]T, n)
+}
+
+// Reset reinitialises the pipeline for env, reusing every ring, bitmap,
+// event-wheel bucket and consumer-list allocation from the previous run
+// whose size still fits. A Reset pipeline is indistinguishable from a
+// freshly built one: New itself is alloc + Reset, and the golden fixture's
+// 72 back-to-back runs in one process exercise recycled machines against
+// the recorded stats.
+func (p *Pipeline) Reset(env Env) error {
+	if err := env.Machine.Validate(); err != nil {
+		return err
+	}
 	if env.Hier == nil {
-		return nil, fmt.Errorf("pipeline: nil memory hierarchy")
+		return fmt.Errorf("pipeline: nil memory hierarchy")
 	}
 	if env.Pred == nil {
-		return nil, fmt.Errorf("pipeline: nil branch predictor")
+		return fmt.Errorf("pipeline: nil branch predictor")
 	}
 	switch env.Stack.Policy {
 	case PolicySVF:
 		if env.Stack.SVF == nil {
-			return nil, fmt.Errorf("pipeline: SVF policy with nil SVF")
+			return fmt.Errorf("pipeline: SVF policy with nil SVF")
 		}
 	case PolicyStackCache:
 		if env.Stack.SC == nil {
-			return nil, fmt.Errorf("pipeline: stack-cache policy with nil stack cache")
+			return fmt.Errorf("pipeline: stack-cache policy with nil stack cache")
 		}
 	case PolicyRSE:
 		if env.Stack.RSE == nil {
-			return nil, fmt.Errorf("pipeline: RSE policy with nil engine")
+			return fmt.Errorf("pipeline: RSE policy with nil engine")
 		}
 	}
-	p := &Pipeline{
-		cfg: env.Machine,
-		env: env,
-		ruu: make([]ruuEntry, ceilPow2(env.Machine.RUUSize)),
-		lsq: make([]lsqEntry, ceilPow2(env.Machine.LSQSize)),
-		ifq: make([]ifqEntry, ceilPow2(env.Machine.IFQSize)),
+	p.cfg = env.Machine
+	p.env = env
+
+	nr := ceilPow2(env.Machine.RUUSize)
+	p.ruuState = resetSlice(p.ruuState, nr)
+	p.ruuPending = resetSlice(p.ruuPending, nr)
+	p.ruuInfo = resetSlice(p.ruuInfo, nr)
+	p.ruuSeq = resetSlice(p.ruuSeq, nr)
+	p.ruuDone = resetSlice(p.ruuDone, nr)
+	p.ruuLive = resetSlice(p.ruuLive, nr)
+	p.ruuInst = resetSlice(p.ruuInst, nr)
+	p.ruuConsHead = resetSlice(p.ruuConsHead, nr)
+	for i := range p.ruuConsHead {
+		p.ruuConsHead[i] = -1
 	}
-	p.ruuMask = len(p.ruu) - 1
-	p.lsqMask = len(p.lsq) - 1
-	p.ifqMask = len(p.ifq) - 1
-	p.readyBits = make([]uint64, (len(p.ruu)+63)/64)
-	p.storeIdx = newStoreTab(env.Machine.LSQSize)
+	p.consEdges = resetSlice(p.consEdges, 3*nr)
+	p.ruuMask = nr - 1
+	p.ruuHead, p.ruuCount = 0, 0
+
+	nl := ceilPow2(env.Machine.LSQSize)
+	p.lsqAddr = resetSlice(p.lsqAddr, nl)
+	p.lsqSeq = resetSlice(p.lsqSeq, nl)
+	p.lsqMeta = resetSlice(p.lsqMeta, nl)
+	p.lsqMask = nl - 1
+	p.lsqHead, p.lsqCount = 0, 0
+
+	nf := ceilPow2(env.Machine.IFQSize)
+	p.ifq = resetSlice(p.ifq, nf)
+	p.ifqMask = nf - 1
+	p.ifqHead, p.ifqCount = 0, 0
+
+	p.cycle, p.seq = 0, 0
+	p.stats = Stats{}
+	p.drained = false
+	p.fatal = nil
+
+	p.readyBits = resetSlice(p.readyBits, (nr+63)/64)
+	p.readyCount = 0
+	if p.wheelSlab == nil {
+		p.wheelSlab = make([]int32, wheelBuckets*wheelBucketCap)
+	}
+	for i := range p.wheel {
+		if cap(p.wheel[i]) == 0 {
+			o := i * wheelBucketCap
+			p.wheel[i] = p.wheelSlab[o:o : o+wheelBucketCap]
+		} else {
+			p.wheel[i] = p.wheel[i][:0]
+		}
+	}
+	p.overflow = p.overflow[:0]
+	p.eventCount = 0
+
+	if p.storeIdx == nil || !p.storeIdx.fits(env.Machine.LSQSize) {
+		p.storeIdx = newStoreTab(env.Machine.LSQSize)
+	} else {
+		p.storeIdx.reset()
+	}
+
 	for i := range p.regProd {
 		p.regProd[i] = dep{idx: noDep}
 	}
+	p.svfProd = p.svfProd[:0]
+	p.svfProdMask = 0
+	p.svfBanked, p.svfInfinite = false, false
 	if env.Stack.Policy == PolicySVF {
 		n := env.Stack.SVF.Entries()
 		if n == 0 {
 			n = 1 << 16 // infinite SVF: hash the index space
 		}
-		p.svfProd = make([]dep, n)
-		p.svfProdMask = uint64(n - 1)
+		if cap(p.svfProd) >= n {
+			p.svfProd = p.svfProd[:n]
+		} else {
+			p.svfProd = make([]dep, n)
+		}
 		for i := range p.svfProd {
 			p.svfProd[i] = dep{idx: noDep}
 		}
-	}
-	if env.Stack.Policy == PolicySVF {
+		p.svfProdMask = uint64(n - 1)
 		cfg := env.Stack.SVF.Config()
 		p.svfBanked = cfg.Banks > 0
 		p.svfInfinite = cfg.Infinite
 	}
+	p.scHitLat = 0
 	if env.Stack.Policy == PolicyStackCache {
 		p.scHitLat = env.Stack.SC.Config().HitLatency
 	}
 	p.il1HitLat = env.Hier.IL1.Config().HitLatency
+	p.stackLo = env.Layout.StackBase - env.Layout.StackMax
+	p.stackSpan = env.Layout.StackMax
+	p.policy = env.Stack.Policy
+	p.svf = env.Stack.SVF
+	_, p.predPerfect = env.Pred.(*bpred.Perfect)
+
+	p.depBuf = [3]dep{}
+	p.ndeps = 0
+
+	p.decSP, p.decSPKnown = 0, false
+	p.fetchBlocked = false
+	p.fetchResumeAt = 0
+	p.dispatchHoldTo = 0
+	p.interlock = dep{idx: noDep}
+	p.fetchBlock = 0
+	p.fetchStallTo = 0
+	p.fetchFast = nil
+
+	p.nextCtxSwitch = 0
 	if env.CtxSwitchPeriod > 0 {
 		p.nextCtxSwitch = env.CtxSwitchPeriod
 	}
-	p.interlock = dep{idx: noDep}
+	p.inject = nil
 	if env.Inject.Active() {
 		p.inject = env.Inject
 	}
+	p.probe, p.trace, p.probeNext = nil, nil, 0
 	if env.Probe != nil {
 		p.probe = env.Probe
 		p.trace = env.Probe.Trace
 		p.probeNext = env.Probe.Interval()
 	}
-	return p, nil
+	return nil
 }
 
 // Stats returns the counters so far.
@@ -357,6 +529,7 @@ func (p *Pipeline) Run(ctx context.Context, s trace.Stream, maxInsts uint64) (St
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	p.fetchFast, _ = s.(*trace.SliceStream)
 	lastCommit := uint64(0)
 	lastCommitted := uint64(0)
 	check := uint64(0)
@@ -455,40 +628,41 @@ func (p *Pipeline) StateDump(maxEntries int) string {
 		fmt.Fprintf(&b, " decSP=%#x", p.decSP)
 	}
 	for i := 0; i < p.ruuCount && i < maxEntries; i++ {
-		e := &p.ruu[(p.ruuHead+i)&p.ruuMask]
-		fmt.Fprintf(&b, "; ruu+%d: pc=%#x kind=%s seq=%d state=%s pending=%d/%d completeAt=%d route=%d",
-			i, e.inst.PC, e.inst.Kind, e.seq, e.state, e.pending, e.ndeps, e.completeAt, e.route)
+		j := (p.ruuHead + i) & p.ruuMask
+		fmt.Fprintf(&b, "; ruu+%d: pc=%#x kind=%s seq=%d state=%s pending=%d completeAt=%d route=%d",
+			i, p.ruuInst[j].PC, p.ruuInst[j].Kind, p.ruuSeq[j], p.ruuState[j],
+			p.ruuPending[j], p.ruuDone[j], infoRoute(p.ruuInfo[j]))
 	}
 	return b.String()
 }
 
-// done reports whether a dependency has produced its value by now.
+// done reports whether a dependency has produced its value by now: the
+// producer completed (its ruuLive was cleared by its completion event),
+// committed, or its slot was recycled — all of which break the seq match.
 func (p *Pipeline) done(d dep) bool {
-	if d.idx == noDep {
-		return true
-	}
-	e := &p.ruu[d.idx]
-	if e.state == stFree || e.seq != d.seq {
-		return true // producer already committed
-	}
-	return e.state == stIssued && e.completeAt <= p.cycle
+	return d.idx == noDep || p.ruuLive[d.idx] != d.seq
 }
 
-func (p *Pipeline) entryDone(e *ruuEntry) bool {
-	return e.state == stIssued && e.completeAt <= p.cycle
+// slotDone reports whether RUU slot i has issued and completed.
+func (p *Pipeline) slotDone(i int) bool {
+	return p.ruuState[i] == stIssued && p.ruuDone[i] <= p.cycle
 }
 
 // ---- commit ----
 
 func (p *Pipeline) commit() {
-	for n := 0; n < p.cfg.Width && p.ruuCount > 0; n++ {
-		e := &p.ruu[p.ruuHead]
-		if !p.entryDone(e) {
+	width := p.cfg.Width
+	ruuState := p.ruuState
+	ruuDone := p.ruuDone[:len(ruuState)]
+	for n := 0; n < width && p.ruuCount > 0; n++ {
+		h := p.ruuHead & (len(ruuState) - 1) // == ruuHead; anchors bounds proofs
+		if ruuState[h] != stIssued || ruuDone[h] > p.cycle {
 			return
 		}
-		if e.inst.IsMem() {
+		info := p.ruuInfo[h]
+		if info&infoIsMem != 0 {
 			p.stats.MemRefs++
-			switch e.route {
+			switch infoRoute(info) {
 			case routeDL1:
 				p.stats.DL1Refs++
 			case routeStack:
@@ -497,22 +671,23 @@ func (p *Pipeline) commit() {
 				p.stats.SVFRefs++
 			}
 			// The LSQ retires in program order with its RUU entries.
-			if p.lsqCount > 0 && p.lsq[p.lsqHead].seq == e.seq {
-				le := &p.lsq[p.lsqHead]
-				if le.isStore {
+			if p.lsqCount > 0 && p.lsqSeq[p.lsqHead] == p.ruuSeq[h] {
+				lh := p.lsqHead
+				if p.lsqMeta[lh].isStore {
 					// Drop the store index entry if this store is
 					// still the youngest to its address.
-					p.storeIdx.del(le.addr, le.seq)
+					p.storeIdx.del(p.lsqAddr[lh], p.lsqSeq[lh])
 				}
-				p.lsqHead = (p.lsqHead + 1) & p.lsqMask
+				p.lsqHead = (lh + 1) & p.lsqMask
 				p.lsqCount--
 			}
 		}
 		if p.trace != nil {
-			p.trace.Commit(e.seq, p.cycle, routeName(e.route), e.forwarded, e.mispredict)
+			p.trace.Commit(p.ruuSeq[h], p.cycle, routeName(infoRoute(info)),
+				info&infoForwarded != 0, info&infoMispredict != 0)
 		}
-		e.state = stFree
-		p.ruuHead = (p.ruuHead + 1) & p.ruuMask
+		ruuState[h] = stFree
+		p.ruuHead = (h + 1) & p.ruuMask
 		p.ruuCount--
 		p.stats.Committed++
 
@@ -545,122 +720,158 @@ func (p *Pipeline) contextSwitch() {
 // bit set (and re-charge the same port-conflict counters next cycle, as
 // the scan's re-polling did); issued entries clear their bit and schedule
 // their completion on the event wheel.
+//
+// The walk is branch-free with respect to the ring wrap: the head word's
+// high bits (the oldest entries) are visited first via a single mask
+// applied before the loop, the remaining words follow in ring order, and
+// the head word's low bits (the wrapped, youngest entries) close the walk
+// — no per-bit wrap conditional inside the TrailingZeros64 loop.
 func (p *Pipeline) issue() {
-	if p.readyCount == 0 {
+	// remaining counts unvisited ready bits so the walk stops as soon as
+	// the last one has been seen, instead of scanning trailing empty
+	// words every cycle.
+	remaining := p.readyCount
+	if remaining == 0 {
 		return
 	}
+	width := p.cfg.Width
+	intALU := p.cfg.IntALU
+	intMult := p.cfg.IntMult
+	dl1Max := p.cfg.DL1Ports
+	stackMax := 2 * p.env.Stack.Ports // half-port units; 0 = unlimited
 	issued := 0
 	dl1Ports := 0
 	stackPorts := 0
 	alu := 0
 	mult := 0
+	// Counter deltas accumulate in registers; the single exit below
+	// flushes them (the conflict counters tick on every blocked visit —
+	// hundreds of thousands of times per run on port-bound configs).
+	dl1Conf := uint64(0)
+	stackConf := uint64(0)
+	issuedBits := 0
+	cycle := p.cycle
 	var banksBusy uint64 // bitmap of SVF banks used this cycle
-	nw := len(p.readyBits)
-	wordMask := nw - 1 // nw is a power of two
+	// Local slice headers keep the walk's loads and stores off the
+	// Pipeline pointer (the calls below can't retarget these slices).
+	ready := p.readyBits
+	ruuInfo := p.ruuInfo
+	mask := len(ruuInfo) - 1 // == ruuMask; anchors the bounds proofs below
+	ruuState := p.ruuState[:len(ruuInfo)]
+	ruuDone := p.ruuDone[:len(ruuInfo)]
+	nw := len(ready)
 	headWord := p.ruuHead >> 6
 	headBit := uint(p.ruuHead) & 63
-	// Walk words in ring order. The head word is split: its bits at or
-	// above headBit (the oldest entries) come first, its bits below
-	// headBit (the wrapped, youngest entries) come last (iteration nw).
-	for k := 0; k <= nw; k++ {
-		wi := (headWord + k) & wordMask
-		w := p.readyBits[wi]
-		if k == 0 {
-			w &= ^uint64(0) << headBit
-		} else if k == nw {
-			if headBit == 0 {
-				break
-			}
-			wi = headWord
-			w = p.readyBits[wi] & (1<<headBit - 1)
-		}
+	wi := headWord
+	w := ready[wi] &^ (1<<headBit - 1)
+	for k := 0; ; {
 		for w != 0 {
-			if issued >= p.cfg.Width {
-				return
+			if issued >= width {
+				goto out
 			}
 			b := bits.TrailingZeros64(w)
 			w &^= 1 << uint(b)
-			i := int32(wi<<6 | b)
-			e := &p.ruu[i]
+			remaining--
+			i := int32((wi<<6 | b) & mask)
+			info := ruuInfo[i]
 			// Resource acquisition.
 			var lat int
 			switch {
-			case e.inst.IsMem():
+			case info&infoIsMem != 0:
 				// Address generation occupies an extra issue slot and
 				// an ALU; morphed SVF references resolve their address
 				// in decode and skip it (§3.1).
 				slots := 1
-				if e.needsAGEN {
-					if alu >= p.cfg.IntALU || issued+2 > p.cfg.Width {
+				if info&infoAGEN != 0 {
+					if alu >= intALU || issued+2 > width {
 						continue
 					}
 					slots = 2
 				}
-				switch e.route {
-				case routeDL1:
-					if dl1Ports >= p.cfg.DL1Ports {
-						p.stats.DL1PortConflicts++
+				if rt := infoRoute(info); rt == routeDL1 {
+					if dl1Ports >= dl1Max {
+						dl1Conf++
 						continue
 					}
 					dl1Ports++
-				case routeStack, routeSVF, routeRSE:
+				} else if rt == routeSVF && p.svfBanked {
 					// A banked SVF serves one access per bank per cycle
-					// (§7); otherwise port accounting is in half-port
-					// units: loads need a full port; morphed SVF stores
-					// (and RSE register writes) drain through the
-					// banked store path at half a port's cost.
-					if e.route == routeSVF && p.svfBanked {
-						bit := uint64(1) << uint(p.env.Stack.SVF.Bank(e.inst.Addr))
-						if banksBusy&bit != 0 {
-							p.stats.StackPortConflicts++
-							continue
-						}
-						banksBusy |= bit
-						break
+					// (§7); the bank index was precomputed at dispatch.
+					bit := uint64(1) << (info >> infoBankShift & 63)
+					if banksBusy&bit != 0 {
+						stackConf++
+						continue
 					}
+					banksBusy |= bit
+				} else {
+					// Port accounting in half-port units: loads need a
+					// full port; morphed SVF stores (and RSE register
+					// writes) drain through the banked store path at
+					// half a port's cost.
 					cost := 2
-					if (e.route == routeSVF || e.route == routeRSE) && !e.rerouted && e.inst.Kind == isa.KindStore {
+					if info&infoCost1 != 0 {
 						cost = 1
 					}
-					if p.env.Stack.Ports > 0 && stackPorts+cost > 2*p.env.Stack.Ports {
-						p.stats.StackPortConflicts++
+					if stackMax > 0 && stackPorts+cost > stackMax {
+						stackConf++
 						continue
 					}
 					stackPorts += cost
 				}
-				if e.needsAGEN {
+				if info&infoAGEN != 0 {
 					alu++
 				}
 				issued += slots - 1
-				lat = int(e.memLat)
-			case e.inst.Kind == isa.KindMult:
-				if mult >= p.cfg.IntMult {
+				lat = int(info & infoLatMask)
+			case info&infoIsMult != 0:
+				if mult >= intMult {
 					continue
 				}
 				mult++
 				lat = p.cfg.MultLat
 			default:
-				if alu >= p.cfg.IntALU {
+				if alu >= intALU {
 					continue
 				}
 				alu++
 				lat = p.cfg.ALULat
 			}
-			p.readyBits[wi] &^= 1 << uint(b)
-			p.readyCount--
-			e.state = stIssued
-			e.completeAt = p.cycle + uint64(lat)
-			p.scheduleCompletion(i, e.completeAt)
+			ready[wi] &^= 1 << uint(b)
+			issuedBits++
+			ruuState[i] = stIssued
+			at := cycle + uint64(lat)
+			ruuDone[i] = at
+			p.scheduleCompletion(i, at)
 			if p.trace != nil {
-				p.trace.Issue(e.seq, p.cycle, e.completeAt)
+				p.trace.Issue(p.ruuSeq[i], cycle, at)
 			}
 			issued++
-			if e.mispredict {
+			if info&infoMispredict != 0 {
 				// The front end refetches once the branch resolves.
-				p.fetchResumeAt = e.completeAt + uint64(p.cfg.MispredictPenalty)
+				p.fetchResumeAt = at + uint64(p.cfg.MispredictPenalty)
 			}
 		}
+		if remaining == 0 {
+			break
+		}
+		k++
+		switch {
+		case k < nw:
+			wi = (wi + 1) & (nw - 1) // nw is a power of two
+			w = ready[wi]
+		case k == nw:
+			// The head word's wrapped low bits close the walk; the mask
+			// is zero when the head is word-aligned.
+			wi = headWord
+			w = ready[wi] & (1<<headBit - 1)
+		default:
+			goto out
+		}
 	}
+out:
+	p.readyCount -= issuedBits
+	p.stats.DL1PortConflicts += dl1Conf
+	p.stats.StackPortConflicts += stackConf
 }
 
 // ---- dispatch ----
@@ -695,41 +906,39 @@ func (p *Pipeline) dispatch() {
 			p.stats.RUUFullStalls++
 			return
 		}
-		if fe.inst.IsMem() && p.lsqCount >= p.cfg.LSQSize {
+		// LSQ occupancy first: the queue is rarely full, so the common
+		// path skips the instruction-kind test entirely.
+		if p.lsqCount >= p.cfg.LSQSize && fe.inst.IsMem() {
 			p.stats.LSQFullStalls++
 			return
 		}
 		p.ifqHead = (p.ifqHead + 1) & p.ifqMask
 		p.ifqCount--
 
-		idx := (p.ruuHead + p.ruuCount) & p.ruuMask
+		ruuInst := p.ruuInst
+		idx := (p.ruuHead + p.ruuCount) & (len(ruuInst) - 1) // == ruuMask
 		p.ruuCount++
 		p.seq++
-		e := &p.ruu[idx]
-		// Field-wise reset: a whole-struct literal would copy ~130 bytes
-		// per dispatch and discard the consumers allocation. The freed
-		// IFQ slot stays intact until fetch() runs later this cycle, so
-		// reading fe through the copy is safe.
-		e.inst = fe.inst
-		e.seq = p.seq
-		e.state = stDispatched
-		e.completeAt = 0
-		e.ndeps = 0
-		e.pending = 0
-		e.route = routeNone
-		e.rerouted = false
-		e.forwarded = false
-		e.mispredict = fe.mispredict
-		e.needsAGEN = false
-		e.memLat = 0
-		e.lsqIdx = -1
-		e.consumers = e.consumers[:0] // keep the allocation across slot reuse
+		// The freed IFQ slot stays intact until fetch() runs later this
+		// cycle, so reading fe through the copy is safe.
+		ruuInst[idx] = fe.inst
+		p.ruuSeq[idx] = p.seq
+		p.ruuLive[idx] = p.seq
+		p.ruuState[idx] = stDispatched
+		p.ruuDone[idx] = 0
+		p.ruuPending[idx] = 0
+		p.ndeps = 0
+		info := uint32(0)
+		if fe.mispredict {
+			info = infoMispredict
+		}
 
 		if p.trace != nil {
-			p.trace.Dispatch(e.seq, e.inst.PC, e.inst.Kind.String(), fe.fetchedAt, p.cycle)
+			p.trace.Dispatch(p.seq, fe.inst.PC, fe.inst.Kind.String(), fe.fetchedAt, p.cycle)
 		}
-		stallAfter := p.dispatchInst(e, int32(idx))
-		p.linkDeps(int32(idx), e)
+		info, stallAfter := p.dispatchInst(int32(idx), info)
+		p.ruuInfo[idx] = info
+		p.linkDeps(int32(idx))
 		if stallAfter {
 			return
 		}
@@ -737,7 +946,7 @@ func (p *Pipeline) dispatch() {
 }
 
 // addDep records a dependency on the youngest producer of reg.
-func (p *Pipeline) addDep(e *ruuEntry, reg uint8) {
+func (p *Pipeline) addDep(reg uint8) {
 	if reg == isa.RegZero {
 		return
 	}
@@ -745,19 +954,19 @@ func (p *Pipeline) addDep(e *ruuEntry, reg uint8) {
 	if d.idx == noDep {
 		return
 	}
-	e.deps[e.ndeps] = d
-	e.ndeps++
+	p.depBuf[p.ndeps] = d
+	p.ndeps++
 }
 
-func (p *Pipeline) addDepRaw(e *ruuEntry, d dep) {
+func (p *Pipeline) addDepRaw(d dep) {
 	if d.idx == noDep {
 		return
 	}
-	e.deps[e.ndeps] = d
-	e.ndeps++
+	p.depBuf[p.ndeps] = d
+	p.ndeps++
 }
 
-// setProducer marks e as the youngest writer of reg.
+// setProducer marks idx as the youngest writer of reg.
 func (p *Pipeline) setProducer(reg uint8, idx int32, seq uint64) {
 	if reg == isa.RegZero {
 		return
@@ -766,41 +975,45 @@ func (p *Pipeline) setProducer(reg uint8, idx int32, seq uint64) {
 }
 
 // dispatchInst fills in routing, dependencies and functional effects for a
-// newly allocated entry. It reports whether dispatch must stop afterwards
-// (interlock or squash bubble).
-func (p *Pipeline) dispatchInst(e *ruuEntry, idx int32) bool {
-	inst := &e.inst
+// newly allocated entry, returning its assembled ruuInfo word. It reports
+// whether dispatch must stop afterwards (interlock or squash bubble).
+func (p *Pipeline) dispatchInst(idx int32, info uint32) (uint32, bool) {
+	inst := &p.ruuInst[idx]
 	switch inst.Kind {
 	case isa.KindSPAdjust:
-		return p.dispatchSPAdjust(e, idx)
+		return info, p.dispatchSPAdjust(idx)
 	case isa.KindLoad, isa.KindStore:
-		return p.dispatchMem(e, idx)
+		return p.dispatchMem(idx, info)
 	case isa.KindBranch:
-		p.addDep(e, inst.Src1)
-		return false
+		p.addDep(inst.Src1)
+		return info, false
 	case isa.KindCall:
-		p.setProducer(inst.Dst, idx, e.seq)
-		return false
+		p.setProducer(inst.Dst, idx, p.ruuSeq[idx])
+		return info, false
 	case isa.KindReturn:
-		p.addDep(e, inst.Src1)
-		return false
+		p.addDep(inst.Src1)
+		return info, false
 	default: // ALU, Mult, Jump, Nop
-		p.addDep(e, inst.Src1)
-		p.addDep(e, inst.Src2)
-		p.setProducer(inst.Dst, idx, e.seq)
-		return false
+		if inst.Kind == isa.KindMult {
+			info |= infoIsMult
+		}
+		p.addDep(inst.Src1)
+		p.addDep(inst.Src2)
+		p.setProducer(inst.Dst, idx, p.ruuSeq[idx])
+		return info, false
 	}
 }
 
-func (p *Pipeline) dispatchSPAdjust(e *ruuEntry, idx int32) bool {
-	inst := &e.inst
+func (p *Pipeline) dispatchSPAdjust(idx int32) bool {
+	inst := &p.ruuInst[idx]
+	seq := p.ruuSeq[idx]
 	if inst.SPImmediate() {
 		// Tracked by the decode stage's speculative $sp copy: no
 		// register dependency for downstream morphing.
-		p.addDep(e, inst.Src1)
+		p.addDep(inst.Src1)
 	} else {
-		p.addDep(e, inst.Src1)
-		p.addDep(e, inst.Src2)
+		p.addDep(inst.Src1)
+		p.addDep(inst.Src2)
 	}
 	// Update the decode-stage $sp shadow (and the SVF window / RSE
 	// frame stack).
@@ -822,11 +1035,11 @@ func (p *Pipeline) dispatchSPAdjust(e *ruuEntry, idx int32) bool {
 			}
 		}
 	}
-	p.setProducer(isa.RegSP, idx, e.seq)
+	p.setProducer(isa.RegSP, idx, seq)
 	if !inst.SPImmediate() && p.env.Stack.Policy == PolicySVF {
 		// §3.1: the decode interlock stalls until the computed $sp
 		// value resolves.
-		p.interlock = dep{idx: idx, seq: e.seq}
+		p.interlock = dep{idx: idx, seq: seq}
 		return true
 	}
 	return false
@@ -856,144 +1069,164 @@ func (p *Pipeline) anchorSP(inst *isa.Inst) error {
 	return nil
 }
 
-func (p *Pipeline) dispatchMem(e *ruuEntry, idx int32) bool {
-	inst := &e.inst
+func (p *Pipeline) dispatchMem(idx int32, info uint32) (uint32, bool) {
+	inst := &p.ruuInst[idx]
+	seq := p.ruuSeq[idx]
+	info |= infoIsMem
 	isStore := inst.Kind == isa.KindStore
 	if inst.SPRelative() {
 		if err := p.anchorSP(inst); err != nil {
 			p.fatal = err
-			return true
+			return info, true
 		}
 	}
-	inStack := p.env.Layout.InStack(inst.Addr)
+	inStack := inst.Addr-p.stackLo < p.stackSpan
 
 	// Routing decision.
-	e.route = routeDL1
-	switch p.env.Stack.Policy {
+	rt := routeDL1
+	rerouted := false // SVF access that needed the post-AGEN bounds check
+	switch p.policy {
 	case PolicySVF:
-		if inStack && p.env.Stack.SVF.Contains(inst.Addr) {
-			e.route = routeSVF
-			e.rerouted = !inst.SPRelative()
+		if inStack && p.svf.Contains(inst.Addr) {
+			rt = routeSVF
+			rerouted = !inst.SPRelative()
 			if p.svfInfinite {
 				// Figure 5's limit study assumes every stack
 				// reference morphs into a register move.
-				e.rerouted = false
+				rerouted = false
 			}
 			if p.cfg.NoMorph {
 				// Ablation: no decode-stage morphing; everything
 				// reaches the SVF only after address generation.
-				e.rerouted = true
+				rerouted = true
 			}
 		}
 	case PolicyStackCache:
 		if inStack {
-			e.route = routeStack
+			rt = routeStack
 		}
 	case PolicyRSE:
 		// Registers are not memory-addressable: only $sp-relative
 		// references to resident frames are served; everything else —
 		// pointer-addressed locals, spilled frames — uses the cache.
 		if inst.SPRelative() && p.env.Stack.RSE.Resident(inst.Addr) {
-			e.route = routeRSE
+			rt = routeRSE
 		}
 	}
 
 	// Dependencies.
 	dropBase := false
-	if e.route == routeSVF && !e.rerouted {
+	if rt == routeSVF && !rerouted {
 		// Morphed: the address comes from the decode-stage $sp copy.
 		dropBase = true
 	}
 	if p.cfg.NoAddrCalcOp && inStack && inst.SPRelative() {
 		dropBase = true
 	}
-	if inst.SPRelative() && (p.env.Stack.Policy == PolicySVF || p.env.Stack.Policy == PolicyRSE) {
+	if inst.SPRelative() && (p.policy == PolicySVF || p.policy == PolicyRSE) {
 		// Even outside the window, $sp+imm resolves in decode.
 		dropBase = true
 	}
-	e.needsAGEN = !dropBase
+	if !dropBase {
+		info |= infoAGEN
+	}
 	if isStore {
-		p.addDep(e, inst.Src1) // data
+		p.addDep(inst.Src1) // data
 		if !dropBase {
-			p.addDep(e, inst.Base)
+			p.addDep(inst.Base)
 		}
 	} else if !dropBase {
-		p.addDep(e, inst.Base)
+		p.addDep(inst.Base)
 	}
 
+	var memLat int32
+	forwarded := false
 	squash := false
 	switch {
-	case e.route == routeSVF && !e.rerouted:
+	case rt == routeSVF && !rerouted:
 		svfIdx := (inst.Addr / isa.WordSize) & p.svfProdMask
 		if !isStore {
 			// Morphed load: renamed against the youngest morphed
 			// store to the same SVF register.
-			p.addDepRaw(e, p.svfProd[svfIdx])
+			p.addDepRaw(p.svfProd[svfIdx])
 			// §3.2 hazard: an older in-flight $gpr store to the same
 			// address is invisible to the renamer; detect and squash.
-			if si := p.findLSQStore(inst.Addr, true); si >= 0 && !p.svfInfinite {
-				p.stats.Squashes++
-				p.addDepRaw(e, dep{idx: p.lsq[si].ruuIdx, seq: p.lsq[si].seq})
-				if !p.cfg.NoSquash {
-					squash = true
+			// The infinite-SVF limit study ignores the hazard, so it
+			// skips the store-table probe entirely.
+			if !p.svfInfinite {
+				if si := p.findLSQStore(inst.Addr, true); si >= 0 {
+					p.stats.Squashes++
+					p.addDepRaw(dep{idx: p.lsqMeta[si].ruuIdx, seq: p.lsqSeq[si]})
+					if !p.cfg.NoSquash {
+						squash = true
+					}
 				}
 			}
 		}
-		e.memLat = int32(p.env.Stack.SVF.AccessSized(inst.Addr, int(inst.Size), isStore, false))
+		memLat = int32(p.svf.AccessSized(inst.Addr, int(inst.Size), isStore, false))
 		if isStore {
-			p.svfProd[svfIdx] = dep{idx: idx, seq: e.seq}
+			p.svfProd[svfIdx] = dep{idx: idx, seq: seq}
 		}
-	case e.route == routeRSE:
+	case rt == routeRSE:
 		lat, ok := p.env.Stack.RSE.Access(inst.Addr, isStore)
 		if !ok {
 			// Raced out of residency between routing and access;
 			// fall back to the cache.
-			e.route = routeDL1
-			e.memLat = p.accessMem(e, inst, isStore)
+			rt = routeDL1
+			memLat = p.accessMem(rt, inst, isStore, &forwarded)
 			break
 		}
-		e.memLat = int32(lat)
-	case e.route == routeSVF:
+		memLat = int32(lat)
+	case rt == routeSVF:
 		// Rerouted into the SVF after address generation and the bounds
 		// check (§3.2). LSQ forwarding still applies to loads.
 		if !isStore {
 			if si := p.findLSQStore(inst.Addr, false); si >= 0 {
-				e.forwarded = true
+				forwarded = true
 				p.stats.Forwards++
-				p.addDepRaw(e, dep{idx: p.lsq[si].ruuIdx, seq: p.lsq[si].seq})
-				e.memLat = int32(p.cfg.StoreForwardLat)
+				p.addDepRaw(dep{idx: p.lsqMeta[si].ruuIdx, seq: p.lsqSeq[si]})
+				memLat = int32(p.cfg.StoreForwardLat)
 				break
 			}
 		}
-		e.memLat = int32(p.env.Stack.SVF.AccessSized(inst.Addr, int(inst.Size), isStore, true))
+		memLat = int32(p.svf.AccessSized(inst.Addr, int(inst.Size), isStore, true))
 	default:
-		e.memLat = p.accessMem(e, inst, isStore)
+		memLat = p.accessMem(rt, inst, isStore, &forwarded)
 	}
 
 	// Every memory reference occupies an LSQ slot, including morphed
 	// references (their disambiguation uop, §3.2).
 	li := (p.lsqHead + p.lsqCount) & p.lsqMask
-	p.lsq[li] = lsqEntry{
-		addr:      inst.Addr,
-		seq:       e.seq,
-		ruuIdx:    idx,
-		isStore:   isStore,
-		gprStore:  isStore && !inst.SPRelative() && inStack,
-		prevStore: noDep,
-	}
+	p.lsqAddr[li] = inst.Addr
+	p.lsqSeq[li] = seq
+	m := &p.lsqMeta[li]
+	m.ruuIdx = idx
+	m.isStore = isStore
+	m.gprStore = isStore && !inst.SPRelative() && inStack
+	m.prevStore = noDep
+	m.prevStoreSeq = 0
 	if isStore {
-		le := &p.lsq[li]
-		if prev, ok := p.storeIdx.get(inst.Addr); ok {
-			le.prevStore, le.prevStoreSeq = prev.idx, prev.seq
+		if prev, ok := p.storeIdx.putGet(inst.Addr, lsqRef{idx: int32(li), seq: seq}); ok {
+			m.prevStore, m.prevStoreSeq = prev.idx, prev.seq
 		}
-		p.storeIdx.put(inst.Addr, lsqRef{idx: int32(li), seq: e.seq})
 	}
 	p.lsqCount++
-	e.lsqIdx = int32(li)
 
 	if !isStore {
-		p.setProducer(inst.Dst, idx, e.seq)
+		p.setProducer(inst.Dst, idx, seq)
 	}
+
+	info |= uint32(memLat)&infoLatMask | uint32(rt)<<infoRouteShift
+	if forwarded {
+		info |= infoForwarded
+	}
+	if (rt == routeSVF || rt == routeRSE) && !rerouted && isStore {
+		info |= infoCost1
+	}
+	if rt == routeSVF && p.svfBanked {
+		info |= uint32(p.svf.Bank(inst.Addr)) << infoBankShift
+	}
+
 	if squash {
 		// Pipeline flush and re-execution, charged as a front-end
 		// bubble.
@@ -1001,26 +1234,26 @@ func (p *Pipeline) dispatchMem(e *ruuEntry, idx int32) bool {
 		if p.trace != nil {
 			p.trace.Marker("squash", p.cycle)
 		}
-		return true
+		return info, true
 	}
-	return false
+	return info, false
 }
 
 // accessMem performs the functional access for DL1/stack-cache routes,
 // applying store-to-load forwarding, and returns the load-use latency.
-func (p *Pipeline) accessMem(e *ruuEntry, inst *isa.Inst, isStore bool) int32 {
+func (p *Pipeline) accessMem(rt route, inst *isa.Inst, isStore bool, forwarded *bool) int32 {
 	if !isStore {
 		if si := p.findLSQStore(inst.Addr, false); si >= 0 {
 			// LSQ forwarding: the load's value comes from the store
 			// buffer after the forwarding delay.
-			e.forwarded = true
+			*forwarded = true
 			p.stats.Forwards++
-			p.addDepRaw(e, dep{idx: p.lsq[si].ruuIdx, seq: p.lsq[si].seq})
+			p.addDepRaw(dep{idx: p.lsqMeta[si].ruuIdx, seq: p.lsqSeq[si]})
 			return int32(p.cfg.StoreForwardLat)
 		}
 	}
 	var lat int
-	switch e.route {
+	switch rt {
 	case routeStack:
 		lat = p.env.Stack.SC.Access(inst.Addr, isStore)
 		if isStore && lat > p.scHitLat {
@@ -1059,14 +1292,14 @@ func (p *Pipeline) findLSQStore(addr uint64, gprOnly bool) int {
 		if (int(r.idx)-p.lsqHead)&p.lsqMask >= p.lsqCount {
 			break // slot no longer occupied: committed
 		}
-		le := &p.lsq[r.idx]
-		if le.seq != r.seq {
+		if p.lsqSeq[r.idx] != r.seq {
 			break // slot reused: the recorded store committed
 		}
-		if !gprOnly || le.gprStore {
+		m := &p.lsqMeta[r.idx]
+		if !gprOnly || m.gprStore {
 			return int(r.idx)
 		}
-		r = lsqRef{idx: le.prevStore, seq: le.prevStoreSeq}
+		r = lsqRef{idx: m.prevStore, seq: m.prevStoreSeq}
 	}
 	return -1
 }
@@ -1091,7 +1324,13 @@ func (p *Pipeline) fetch(s trace.Stream) {
 		// Decode straight into the IFQ slot; the slot is free, and one
 		// copy beats two.
 		fe := &p.ifq[(p.ifqHead+p.ifqCount)&p.ifqMask]
-		if !s.Next(&fe.inst) {
+		var ok bool
+		if fs := p.fetchFast; fs != nil {
+			ok = fs.Next(&fe.inst) // direct, inlinable call
+		} else {
+			ok = s.Next(&fe.inst)
+		}
+		if !ok {
 			p.drained = true
 			return
 		}
@@ -1111,6 +1350,11 @@ func (p *Pipeline) fetch(s trace.Stream) {
 		p.ifqCount++
 		if fe.inst.Kind == isa.KindBranch {
 			p.stats.Branches++
+			if p.predPerfect {
+				// The perfect predictor is stateless and always agrees
+				// with the outcome; skip the interface calls.
+				continue
+			}
 			actual := fe.inst.Taken()
 			pred := p.env.Pred.Predict(fe.inst.PC, actual)
 			p.env.Pred.Update(fe.inst.PC, actual)

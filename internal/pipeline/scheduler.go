@@ -32,20 +32,23 @@ package pipeline
 // latencies spill into the unordered overflow list.
 const wheelBuckets = 1024
 
+// wheelBucketCap sizes each bucket's slab segment (see Pipeline.wheelSlab):
+// a bucket holds the completions landing on one cycle, bounded in practice
+// by issue width, so 16 keeps mid-run bucket growth off the heap.
+const wheelBucketCap = 16
+
 // overflowEvent is a completion scheduled beyond the wheel horizon.
 type overflowEvent struct {
 	at  uint64
 	idx int32
 }
 
-// scheduleCompletion registers entry idx's completion at cycle at.
+// scheduleCompletion registers entry idx's completion at cycle at. The
+// common wheel-append path is small enough to inline into issue(); the
+// zero-latency panic and the overflow append are outlined to keep it so.
 func (p *Pipeline) scheduleCompletion(idx int32, at uint64) {
 	if at <= p.cycle {
-		// Every functional-unit and memory latency in the model is >= 1
-		// cycle (config validation and the structure defaults enforce
-		// it), so a completion can never land on the current cycle,
-		// whose bucket has already fired.
-		panic("pipeline: zero-latency completion")
+		panicZeroLatency()
 	}
 	p.eventCount++
 	if at-p.cycle < wheelBuckets {
@@ -53,6 +56,20 @@ func (p *Pipeline) scheduleCompletion(idx int32, at uint64) {
 		p.wheel[b] = append(p.wheel[b], idx)
 		return
 	}
+	p.scheduleOverflow(idx, at)
+}
+
+// panicZeroLatency reports a completion scheduled for the current cycle.
+// Every functional-unit and memory latency in the model is >= 1 cycle
+// (config validation and the structure defaults enforce it), so a
+// completion can never land on the current cycle, whose bucket has already
+// fired.
+func panicZeroLatency() {
+	panic("pipeline: zero-latency completion")
+}
+
+// scheduleOverflow is the beyond-horizon slow path of scheduleCompletion.
+func (p *Pipeline) scheduleOverflow(idx int32, at uint64) {
 	p.overflow = append(p.overflow, overflowEvent{at: at, idx: idx})
 }
 
@@ -92,38 +109,49 @@ func (p *Pipeline) setReady(i int32) {
 	p.readyCount++
 }
 
-// complete wakes the consumers of a completing entry.
+// complete wakes the consumers of a completing entry and retires its
+// liveness word — from here on every dependency check on this entry (and
+// this seq) reads done.
 func (p *Pipeline) complete(idx int32) {
-	e := &p.ruu[idx]
-	for _, c := range e.consumers {
-		ce := &p.ruu[c]
-		ce.pending--
-		if ce.pending == 0 {
-			p.setReady(c)
-		}
+	p.ruuLive[idx] = 0
+	h := p.ruuConsHead[idx]
+	if h < 0 {
+		return
 	}
-	e.consumers = e.consumers[:0]
+	p.ruuConsHead[idx] = -1
+	consEdges := p.consEdges
+	ruuPending := p.ruuPending
+	for h >= 0 {
+		e := consEdges[h]
+		n := ruuPending[e.consumer] - 1
+		ruuPending[e.consumer] = n
+		if n == 0 {
+			p.setReady(e.consumer)
+		}
+		h = e.next
+	}
 }
 
-// linkDeps installs a freshly dispatched entry into the wakeup network:
-// each still-outstanding dependency registers the entry on its producer's
-// consumer list; an entry with no outstanding dependencies becomes ready
-// immediately. A dependency appearing twice (e.g. Src1 == Src2) registers
-// twice and is decremented twice — the counts stay balanced.
-func (p *Pipeline) linkDeps(idx int32, e *ruuEntry) {
-	for d := int8(0); d < e.ndeps; d++ {
-		dd := e.deps[d]
-		pe := &p.ruu[dd.idx]
-		if pe.state == stFree || pe.seq != dd.seq {
-			continue // producer already committed
+// linkDeps installs the freshly dispatched entry idx into the wakeup
+// network from dispatch's depBuf scratch: each still-outstanding
+// dependency registers the entry on its producer's consumer list; an entry
+// with no outstanding dependencies becomes ready immediately. A dependency
+// appearing twice (e.g. Src1 == Src2) registers twice and is decremented
+// twice — the counts stay balanced.
+func (p *Pipeline) linkDeps(idx int32) {
+	pending := int8(0)
+	for d := int8(0); d < p.ndeps; d++ {
+		dd := p.depBuf[d]
+		if p.ruuLive[dd.idx] != dd.seq {
+			continue // producer completed, committed, or slot recycled
 		}
-		if pe.state == stIssued && pe.completeAt <= p.cycle {
-			continue // produced this cycle or earlier
-		}
-		pe.consumers = append(pe.consumers, idx)
-		e.pending++
+		eid := idx*3 + int32(d)
+		p.consEdges[eid] = consEdge{consumer: idx, next: p.ruuConsHead[dd.idx]}
+		p.ruuConsHead[dd.idx] = eid
+		pending++
 	}
-	if e.pending == 0 {
+	p.ruuPending[idx] = pending
+	if pending == 0 {
 		p.setReady(idx)
 	}
 }
@@ -173,7 +201,7 @@ func (p *Pipeline) fastForward(maxInsts, maxCycle uint64) {
 	// is a scheduled event, which bounds the jump below; an unissued head
 	// cannot complete without first waking (no ready entries, no wakes
 	// before the next event).
-	if p.ruuCount > 0 && p.entryDone(&p.ruu[p.ruuHead]) {
+	if p.ruuCount > 0 && p.slotDone(p.ruuHead) {
 		return
 	}
 

@@ -37,7 +37,15 @@ func TestStoreTabAgainstMap(t *testing.T) {
 			}
 			seq++
 			r := lsqRef{idx: int32(rng.Intn(8)), seq: seq}
-			tab.put(addr, r)
+			if rng.Intn(2) == 0 {
+				tab.put(addr, r)
+			} else {
+				prev, ok := tab.putGet(addr, r)
+				wprev, wok := ref[addr]
+				if ok != wok || (ok && prev != wprev) {
+					t.Fatalf("op %d: putGet(%#x) prev = %v,%v want %v,%v", op, addr, prev, ok, wprev, wok)
+				}
+			}
 			ref[addr] = r
 		case 1: // del with the currently recorded seq, or a stale one
 			r, ok := ref[addr]
@@ -82,13 +90,14 @@ func TestEventWheelOverflow(t *testing.T) {
 	at := p.cycle + wheelBuckets + 5
 
 	// Entry 0 will complete at `at`; entry 1 waits on it.
-	p.ruu[0].state = stIssued
-	p.ruu[0].seq = 1
-	p.ruu[0].completeAt = at
-	p.ruu[0].consumers = append(p.ruu[0].consumers, 1)
-	p.ruu[1].state = stDispatched
-	p.ruu[1].seq = 2
-	p.ruu[1].pending = 1
+	p.ruuState[0] = stIssued
+	p.ruuSeq[0] = 1
+	p.ruuDone[0] = at
+	p.consEdges[3*1+0] = consEdge{consumer: 1, next: -1}
+	p.ruuConsHead[0] = 3 * 1
+	p.ruuState[1] = stDispatched
+	p.ruuSeq[1] = 2
+	p.ruuPending[1] = 1
 
 	p.scheduleCompletion(0, at)
 	if len(p.overflow) != 1 {
@@ -132,9 +141,9 @@ func TestFastForwardIdleJump(t *testing.T) {
 	p.cycle = 100
 	p.drained = true
 	p.ruuCount = 1
-	p.ruu[p.ruuHead].state = stIssued
-	p.ruu[p.ruuHead].seq = 1
-	p.ruu[p.ruuHead].completeAt = 200
+	p.ruuState[p.ruuHead] = stIssued
+	p.ruuSeq[p.ruuHead] = 1
+	p.ruuDone[p.ruuHead] = 200
 	p.scheduleCompletion(int32(p.ruuHead), 200)
 
 	p.fastForward(1000, 1_000_000)
@@ -144,7 +153,7 @@ func TestFastForwardIdleJump(t *testing.T) {
 	// The next normal iteration (cycle++ then tickEvents) fires the event.
 	p.cycle++
 	p.tickEvents()
-	if !p.entryDone(&p.ruu[p.ruuHead]) {
+	if !p.slotDone(p.ruuHead) {
 		t.Fatal("head entry should be complete at its scheduled cycle")
 	}
 }
@@ -158,9 +167,9 @@ func TestFastForwardChargesStallCounters(t *testing.T) {
 	// Full RUU whose head completes far in the future.
 	p.ruuCount = p.cfg.RUUSize
 	for i := 0; i < p.cfg.RUUSize; i++ {
-		p.ruu[i].state = stIssued
-		p.ruu[i].seq = uint64(i + 1)
-		p.ruu[i].completeAt = 500
+		p.ruuState[i] = stIssued
+		p.ruuSeq[i] = uint64(i + 1)
+		p.ruuDone[i] = 500
 	}
 	p.scheduleCompletion(0, 500)
 	// Full IFQ with decoded entries so dispatch blocks on RUU space.
@@ -185,14 +194,14 @@ func TestFastForwardChargesStallCounters(t *testing.T) {
 func TestIssueRingOrderAcrossWrap(t *testing.T) {
 	p := newTestPipeline(t) // tinyMachine: Width 2, RUU 16, IntALU 4
 	p.cycle = 10
-	n := len(p.ruu)
+	n := len(p.ruuState)
 	p.ruuHead = n - 2
 	p.ruuCount = 4
 	slots := []int{n - 2, n - 1, 0, 1} // program order, wrapping
 	for i, s := range slots {
-		p.ruu[s].state = stDispatched
-		p.ruu[s].seq = uint64(i + 1)
-		p.ruu[s].inst = isa.Inst{Kind: isa.KindALU}
+		p.ruuState[s] = stDispatched
+		p.ruuSeq[s] = uint64(i + 1)
+		p.ruuInst[s] = isa.Inst{Kind: isa.KindALU}
 		p.setReady(int32(s))
 	}
 
@@ -203,8 +212,8 @@ func TestIssueRingOrderAcrossWrap(t *testing.T) {
 		if i < p.cfg.Width {
 			want = stIssued // the two oldest, both before the wrap
 		}
-		if p.ruu[s].state != want {
-			t.Errorf("slot %d (program position %d): state %v, want %v", s, i, p.ruu[s].state, want)
+		if p.ruuState[s] != want {
+			t.Errorf("slot %d (program position %d): state %v, want %v", s, i, p.ruuState[s], want)
 		}
 	}
 	if p.readyCount != 2 {

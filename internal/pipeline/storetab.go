@@ -19,11 +19,18 @@ type storeSlot struct {
 	seq  uint64
 }
 
-func newStoreTab(lsqSize int) *storeTab {
+// storeTabLen is the table size for an LSQ capacity: four times the ring,
+// floor 16, so probes stay short.
+func storeTabLen(lsqSize int) int {
 	n := 4 * ceilPow2(lsqSize)
 	if n < 16 {
 		n = 16
 	}
+	return n
+}
+
+func newStoreTab(lsqSize int) *storeTab {
+	n := storeTabLen(lsqSize)
 	t := &storeTab{slots: make([]storeSlot, n), mask: n - 1}
 	for i := range t.slots {
 		t.slots[i].idx = -1
@@ -34,6 +41,19 @@ func newStoreTab(lsqSize int) *storeTab {
 		t.shift++
 	}
 	return t
+}
+
+// fits reports whether the table is already sized for lsqSize, so Reset
+// can recycle it.
+func (t *storeTab) fits(lsqSize int) bool {
+	return len(t.slots) == storeTabLen(lsqSize)
+}
+
+// reset empties the table in place.
+func (t *storeTab) reset() {
+	for i := range t.slots {
+		t.slots[i].idx = -1
+	}
 }
 
 // home returns addr's preferred slot.
@@ -61,6 +81,23 @@ func (t *storeTab) put(addr uint64, ref lsqRef) {
 		if s.idx < 0 || s.addr == addr {
 			s.addr, s.idx, s.seq = addr, ref.idx, ref.seq
 			return
+		}
+	}
+}
+
+// putGet records ref as the youngest store for addr and returns the ref it
+// supersedes, if any — the store-dispatch get+put pair in one probe chain.
+func (t *storeTab) putGet(addr uint64, ref lsqRef) (lsqRef, bool) {
+	for i := t.home(addr); ; i = (i + 1) & t.mask {
+		s := &t.slots[i]
+		if s.idx < 0 {
+			s.addr, s.idx, s.seq = addr, ref.idx, ref.seq
+			return lsqRef{}, false
+		}
+		if s.addr == addr {
+			prev := lsqRef{idx: s.idx, seq: s.seq}
+			s.idx, s.seq = ref.idx, ref.seq
+			return prev, true
 		}
 	}
 }

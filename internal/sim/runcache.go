@@ -340,7 +340,7 @@ func (c *RunCache) Characterize(ctx context.Context, prof *synth.Profile, maxIns
 			if err != nil {
 				return nil, err
 			}
-			return synth.Characterize(synth.NewGeneratorFor(prog), prog.Layout, maxInsts), nil
+			return synth.Characterize(cachedStream(prog, prof.Fingerprint(), maxInsts), prog.Layout, maxInsts), nil
 		}, nil)
 	})
 }

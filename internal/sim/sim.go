@@ -187,7 +187,8 @@ func RunContext(ctx context.Context, prof *synth.Profile, opt Options) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	return runStream(ctx, prof.ID(), prof.Fingerprint(), synth.NewGeneratorFor(prog), opt)
+	fp := prof.Fingerprint()
+	return runStream(ctx, prof.ID(), fp, cachedStream(prog, fp, opt.MaxInsts), opt)
 }
 
 // RunStream executes one simulation over an arbitrary instruction stream
@@ -210,7 +211,7 @@ func runStream(ctx context.Context, name, identity string, gen trace.Stream, opt
 	if opt.DL1HitLatency != 0 {
 		hcfg.DL1.HitLatency = opt.DL1HitLatency
 	}
-	hier, err := cache.NewHierarchy(hcfg)
+	hier, err := getHierarchy(hcfg)
 	if err != nil {
 		return nil, err
 	}
@@ -275,15 +276,18 @@ func runStream(ctx context.Context, name, identity string, gen trace.Stream, opt
 		env.Stack = pipeline.StackStructs{Policy: opt.Policy, RSE: eng, Ports: opt.StackPorts}
 	}
 
-	pl, err := pipeline.New(env)
+	pl, err := machinePool.Get(env)
 	if err != nil {
 		return nil, err
 	}
 	ps, err := runContained(ctx, name, runFingerprint(identity, opt), pl,
 		&trace.Limit{S: gen, N: opt.MaxInsts}, uint64(opt.MaxInsts))
 	if err != nil {
+		// A faulted or cancelled machine is dropped, not pooled: its
+		// state is suspect by definition.
 		return nil, err
 	}
+	machinePool.Put(pl)
 
 	// The echoed options drop the probe: it is instrumentation, not
 	// configuration, and must not ride into journal payloads or clones.
@@ -315,6 +319,9 @@ func runStream(ctx context.Context, name, identity string, gen trace.Stream, opt
 		res.RSEQWIn, res.RSEQWOut = st.QuadWordsIn, st.QuadWordsOut
 		res.RSECtxBytes = eng.CtxSwitchBytes()
 	}
+	// Every counter is harvested; the hierarchy can serve the next run.
+	// (The stack structures hold references into it, but they die here.)
+	putHierarchy(hcfg, hier)
 	return res, nil
 }
 
@@ -361,7 +368,7 @@ func trafficOnlyRSE(ctx context.Context, prof *synth.Profile, cfg rse.Config, ma
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	gen := synth.NewGeneratorFor(prog)
+	gen := cachedStream(prog, prof.Fingerprint(), maxInsts)
 	hier, err := cache.NewHierarchy(cache.DefaultHierarchyConfig())
 	if err != nil {
 		return 0, 0, 0, err
@@ -429,7 +436,7 @@ func trafficOnlyRun(ctx context.Context, prof *synth.Profile, svfCfg *core.Confi
 	if err != nil {
 		return 0, 0, 0, err
 	}
-	gen := synth.NewGeneratorFor(prog)
+	gen := cachedStream(prog, prof.Fingerprint(), maxInsts)
 	hier, err := cache.NewHierarchy(cache.DefaultHierarchyConfig())
 	if err != nil {
 		return 0, 0, 0, err

@@ -584,6 +584,20 @@ func (g *Generator) dataSlot(footprintWords int) uint64 {
 	return uint64(g.rng.IntN(footprintWords))
 }
 
+// TraceFor materializes the first n instructions of an already-built
+// program's trace into one flat pre-sized buffer. It is the trace cache's
+// recording hook: one call here replaces the per-run generator execution
+// for every later run of the same (program, budget) pair.
+func TraceFor(prog *Program, n int) []isa.Inst {
+	g := NewGeneratorFor(prog)
+	out := make([]isa.Inst, 0, n)
+	var in isa.Inst
+	for len(out) < n && g.Next(&in) {
+		out = append(out, in)
+	}
+	return out
+}
+
 // Trace generates the first n instructions of the profile's trace.
 func Trace(prof *Profile, n int) ([]isa.Inst, error) {
 	g, err := NewGenerator(prof)
