@@ -44,6 +44,21 @@
 // cache; the journal-level plans (kill-mid-write, journal-torn-tail)
 // instead crash the journal itself deterministically, for recovery drills.
 //
+// Sharded campaigns (-workers N, DESIGN.md §5g) farm every simulation out
+// to N supervised worker processes (this binary re-exec'd with -worker)
+// over a length-prefixed pipe protocol. Cells are held under time-bounded
+// leases with heartbeats (-lease, -heartbeat): a worker that crashes, is
+// kill -9'd, or wedges past its lease has the cell reclaimed and
+// re-enqueued under the same -retries budget, and a cell that kills
+// -poison-k distinct workers is quarantined as a poison cell (latched
+// permanently) instead of crash-looping the fleet. Results are
+// byte-identical to an in-process run. Combine with -journal/-resume for
+// crash tolerance of the coordinator itself; workers never open the
+// journal. -cache-stats adds a one-line fleet summary (deaths, lease
+// expiries, re-enqueues, quarantines), which /progress mirrors live. The
+// faultinject plans worker-kill=N / worker-stall=N kill or wedge the
+// worker holding the Nth assignment, for chaos drills.
+//
 // Telemetry (DESIGN.md §5e) is off unless asked for, and strictly
 // observational — results are bit-identical either way. -events FILE
 // appends machine-tailable NDJSON lifecycle events (run start/finish,
@@ -78,6 +93,7 @@ import (
 	"svf/internal/faultinject"
 	"svf/internal/journal"
 	"svf/internal/pipeline"
+	"svf/internal/shard"
 	"svf/internal/sim"
 	"svf/internal/synth"
 	"svf/internal/telemetry"
@@ -110,6 +126,11 @@ func run() int {
 	traceBench := flag.String("trace-bench", "186.crafty.ref", "benchmark for the -trace-perfetto diagnostic run")
 	traceInsts := flag.Int("trace-insts", 20_000, "instruction budget for the -trace-perfetto diagnostic run")
 	traceCacheMB := flag.Int64("trace-cache-mb", sim.DefaultTraceCacheBytes>>20, "memory budget (MiB) for the recorded-trace cache; 0 disables trace recording")
+	workers := flag.Int("workers", 0, "shard the campaign across this many supervised worker processes (0 = simulate in-process)")
+	workerMode := flag.Bool("worker", false, "run as a shard worker speaking frames over stdin/stdout (internal; spawned by -workers)")
+	leaseTTL := flag.Duration("lease", 30*time.Second, "sharded mode: how long a worker's cell may go without a heartbeat before the lease expires and the cell is re-enqueued")
+	heartbeat := flag.Duration("heartbeat", 0, "sharded mode: worker heartbeat period (0 = lease/4)")
+	poisonK := flag.Int("poison-k", 3, "sharded mode: quarantine a cell as poison (latch it permanently) once it has killed this many distinct workers")
 	flag.Parse()
 	sim.SetTraceCacheBudget(*traceCacheMB << 20)
 
@@ -126,6 +147,24 @@ func run() int {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *workerMode {
+		// Worker processes are stateless executors: stdin/stdout carry
+		// protocol frames (nothing else may print to stdout), and they
+		// must never open the coordinator's journal — the journal's
+		// advisory flock would refuse anyway, but refusing the flag makes
+		// the mistake a clear usage error instead of a lock fight.
+		if *journalDir != "" {
+			fmt.Fprintln(os.Stderr, "svfexp: -worker: workers must not open the campaign journal (-journal belongs to the coordinator)")
+			return 2
+		}
+		w := &shard.Worker{In: os.Stdin, Out: os.Stdout}
+		if err := w.Run(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: worker: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	// Telemetry sinks. The event log and the metrics registry/progress
 	// tracker are independent: -events alone still aggregates counters for
@@ -252,6 +291,46 @@ func run() int {
 		// them into the fault log keeps this run's summary complete.
 		for _, err := range cache.RestoredFaults() {
 			faults.AddReplayed(err)
+		}
+	}
+	var pool *shard.Pool
+	if *workers > 0 {
+		if *journalDir == "" {
+			// A sharded campaign without a journal still needs cell state
+			// that outlives individual requests: the in-memory store keeps
+			// retry attempts and poison-cell quarantine latches for the
+			// process lifetime (a plain cache would forget them).
+			cache = sim.NewRunCacheWithStore(sim.NewMemStore())
+		}
+		exe, err := os.Executable()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: -workers: %v\n", err)
+			return 1
+		}
+		pool, err = shard.NewPool(shard.Config{
+			Workers:   *workers,
+			LeaseTTL:  *leaseTTL,
+			Heartbeat: *heartbeat,
+			PoisonK:   *poisonK,
+			Plan:      plan,
+			Spawn:     shard.CommandSpawner(exe, "-worker", fmt.Sprintf("-trace-cache-mb=%d", *traceCacheMB)),
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "svfexp: "+format+"\n", args...)
+			},
+			Registry: registry,
+			Events:   events,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svfexp: -workers: %v\n", err)
+			return 1
+		}
+		defer pool.Close()
+		cache.SetExecutor(pool)
+		progress.SetShard(func() telemetry.ShardStatus { return pool.Status().Telemetry() })
+		if *parallel == 0 {
+			// Saturate the fleet: the dispatcher goroutines only wait on
+			// workers, so one per worker is the natural default.
+			*parallel = *workers
 		}
 	}
 	cache.SetRetries(*retries)
@@ -453,6 +532,9 @@ func run() int {
 	// counters the journal worked to keep exact.
 	if *cacheStats {
 		fmt.Println(cache.Stats())
+	}
+	if pool != nil && *cacheStats {
+		fmt.Println(pool.Status())
 	}
 	if telemetryOn {
 		fmt.Println(telemetrySummary(registry, progress))

@@ -50,13 +50,16 @@ func runSvfexp(t *testing.T, args ...string) (string, string, int) {
 }
 
 // normalize strips run-to-run noise from svfexp output so two invocations
-// of the same suite compare equal: per-experiment wall-clock timings and
-// the journal status lines.
+// of the same suite compare equal: per-experiment wall-clock timings, the
+// journal status lines, and the -cache-stats / shard supervision summaries
+// (those describe how the campaign ran, not what it computed).
 func normalize(s string) string {
 	var out []string
 	timing := regexp.MustCompile(`, [0-9.]+s\)`)
 	for _, line := range strings.Split(s, "\n") {
-		if strings.HasPrefix(line, "journal:") {
+		if strings.HasPrefix(line, "journal:") ||
+			strings.HasPrefix(line, "run cache:") ||
+			strings.HasPrefix(line, "shard:") {
 			continue
 		}
 		out = append(out, timing.ReplaceAllString(line, ")"))

@@ -1,0 +1,101 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// The sharded drills below are the CLI half of the supervision story: a
+// worker fleet must be an implementation detail, invisible in the results.
+
+// A sharded sweep's stdout is byte-identical to the single-process run.
+func TestShardedSweepMatchesSingleProcess(t *testing.T) {
+	common := []string{"-exp", "fig5", "-insts", "3000", "-traffic", "3000"}
+	clean, stderr, code := runSvfexp(t, common...)
+	if code != 0 {
+		t.Fatalf("single-process run: exit %d, stderr:\n%s", code, stderr)
+	}
+	sharded, stderr, code := runSvfexp(t, append(common, "-workers", "3")...)
+	if code != 0 {
+		t.Fatalf("sharded run: exit %d, stderr:\n%s", code, stderr)
+	}
+	if stderr != "" {
+		t.Errorf("clean sharded run wrote to stderr:\n%s", stderr)
+	}
+	if got, want := normalize(sharded), normalize(clean); got != want {
+		t.Errorf("sharded output differs from single-process\n--- sharded ---\n%s\n--- clean ---\n%s", got, want)
+	}
+}
+
+// A worker kill -9 mid-campaign re-enqueues the lost cell and the campaign
+// still completes with byte-identical output; the supervision counters are
+// visible in -cache-stats.
+func TestShardedWorkerKillBitIdentical(t *testing.T) {
+	common := []string{"-exp", "fig5", "-insts", "3000", "-traffic", "3000"}
+	clean, stderr, code := runSvfexp(t, common...)
+	if code != 0 {
+		t.Fatalf("single-process run: exit %d, stderr:\n%s", code, stderr)
+	}
+	args := append(append([]string{}, common...),
+		"-workers", "3", "-retries", "3", "-inject", "worker-kill=5", "-cache-stats")
+	sharded, stderr, code := runSvfexp(t, args...)
+	if code != 0 {
+		t.Fatalf("chaos run: exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stderr, "re-enqueued") {
+		t.Errorf("stderr does not report the re-enqueue:\n%s", stderr)
+	}
+	if !strings.Contains(sharded, "1 worker deaths") || !strings.Contains(sharded, "1 cells re-enqueued") {
+		t.Errorf("-cache-stats does not show the supervision counters:\n%s", sharded)
+	}
+	if got, want := normalize(sharded), normalize(clean); got != want {
+		t.Errorf("post-kill output differs from single-process\n--- chaos ---\n%s\n--- clean ---\n%s", got, want)
+	}
+}
+
+// The full CI drill: a sharded, journaled campaign loses a worker to
+// kill -9 AND the coordinator itself dies mid-append (exit 137, as by
+// kill -9); -resume with a fresh fleet completes the campaign with output
+// identical to an uninterrupted single-process run.
+func TestShardedCoordinatorKillResume(t *testing.T) {
+	dir := t.TempDir()
+	common := []string{"-exp", "fig5", "-insts", "3000", "-traffic", "3000"}
+
+	args := append(append([]string{}, common...),
+		"-journal", dir, "-workers", "3", "-retries", "3",
+		"-inject", "worker-kill=3,kill-mid-write=7")
+	_, stderr, code := runSvfexp(t, args...)
+	if code != 137 {
+		t.Fatalf("killed coordinator: exit %d, want 137; stderr:\n%s", code, stderr)
+	}
+
+	args = append(append([]string{}, common...),
+		"-journal", dir, "-resume", "-workers", "3", "-retries", "3")
+	resumed, stderr, code := runSvfexp(t, args...)
+	if code != 0 {
+		t.Fatalf("resumed run: exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(resumed, "restored") {
+		t.Errorf("resume did not report restored cells:\n%s", resumed)
+	}
+
+	clean, stderr, code := runSvfexp(t, common...)
+	if code != 0 {
+		t.Fatalf("clean run: exit %d, stderr:\n%s", code, stderr)
+	}
+	if got, want := normalize(resumed), normalize(clean); got != want {
+		t.Errorf("resumed sharded output differs from single-process golden\n--- resumed ---\n%s\n--- clean ---\n%s", got, want)
+	}
+}
+
+// Satellite guard: worker mode must refuse to open a journal — the journal
+// (and its flock) belongs to the coordinator alone.
+func TestWorkerModeRefusesJournal(t *testing.T) {
+	_, stderr, code := runSvfexp(t, "-worker", "-journal", t.TempDir())
+	if code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "coordinator") {
+		t.Errorf("refusal does not explain journal ownership:\n%s", stderr)
+	}
+}

@@ -61,13 +61,25 @@ type Plan struct {
 	// of bytes off the freshly written record. Spec key:
 	// journal-torn-tail.
 	JournalTornTail uint64
+	// WorkerKill, when non-zero, makes the shard worker holding the Nth
+	// coordinator assignment (1-based) exit abruptly mid-cell — the
+	// stand-in for a crashed or OOM-killed worker process. Spec key:
+	// worker-kill.
+	WorkerKill uint64
+	// WorkerStall, when non-zero, makes the worker holding the Nth
+	// assignment stop heartbeating and wedge mid-cell, so the
+	// coordinator's lease watchdog must expire and reclaim it. Spec key:
+	// worker-stall.
+	WorkerStall uint64
 }
 
 // Active reports whether the plan injects simulation-level faults. The
-// journal-level faults (JournalKillWrite, JournalTornTail) are deliberately
-// excluded: they target the campaign journal, not the machine model, so a
-// journal-only plan must not push runs onto the cache-bypassing injection
-// path.
+// journal-level faults (JournalKillWrite, JournalTornTail) and the
+// shard-level faults (WorkerKill, WorkerStall) are deliberately excluded:
+// they target the campaign journal and the worker fleet, not the machine
+// model, so such plans must not push runs onto the cache-bypassing
+// injection path — the whole point of the worker-kill chaos drill is that
+// the reclaimed cells flow through the cache and journal as usual.
 func (p *Plan) Active() bool {
 	if p == nil {
 		return false
@@ -93,6 +105,26 @@ func (p *Plan) JournalKillAt(seq uint64) bool {
 // right after the seq'th append (1-based).
 func (p *Plan) JournalTearAt(seq uint64) bool {
 	return p != nil && p.JournalTornTail != 0 && p.JournalTornTail == seq
+}
+
+// ShardActive reports whether the plan injects shard-level worker faults.
+func (p *Plan) ShardActive() bool {
+	if p == nil {
+		return false
+	}
+	return p.WorkerKill != 0 || p.WorkerStall != 0
+}
+
+// WorkerKillAt reports whether the worker holding the seq'th coordinator
+// assignment (1-based) should die mid-cell.
+func (p *Plan) WorkerKillAt(seq uint64) bool {
+	return p != nil && p.WorkerKill != 0 && p.WorkerKill == seq
+}
+
+// WorkerStallAt reports whether the worker holding the seq'th assignment
+// should wedge mid-cell until the lease watchdog reclaims it.
+func (p *Plan) WorkerStallAt(seq uint64) bool {
+	return p != nil && p.WorkerStall != 0 && p.WorkerStall == seq
 }
 
 // Matches reports whether the plan applies to the named workload.
@@ -123,6 +155,8 @@ func (p *Plan) String() string {
 	add("corrupt", p.CorruptEvery)
 	add("kill-mid-write", p.JournalKillWrite)
 	add("journal-torn-tail", p.JournalTornTail)
+	add("worker-kill", p.WorkerKill)
+	add("worker-stall", p.WorkerStall)
 	if p.Seed != 0 {
 		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
 	}
@@ -134,7 +168,8 @@ func (p *Plan) String() string {
 // "bench=176.gcc,panic=50000,seed=7". Keys: bench, panic (cycle), stall
 // (cycle), eof (instructions), corrupt (record period), kill-mid-write
 // (journal append ordinal), journal-torn-tail (journal append ordinal),
-// seed.
+// worker-kill (shard assignment ordinal), worker-stall (shard assignment
+// ordinal), seed.
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{}
 	if strings.TrimSpace(spec) == "" {
@@ -166,10 +201,14 @@ func Parse(spec string) (*Plan, error) {
 			p.JournalKillWrite = n
 		case "journal-torn-tail":
 			p.JournalTornTail = n
+		case "worker-kill":
+			p.WorkerKill = n
+		case "worker-stall":
+			p.WorkerStall = n
 		case "seed":
 			p.Seed = int64(n)
 		default:
-			return nil, fmt.Errorf("faultinject: unknown key %q (want bench, panic, stall, eof, corrupt, kill-mid-write, journal-torn-tail, seed)", k)
+			return nil, fmt.Errorf("faultinject: unknown key %q (want bench, panic, stall, eof, corrupt, kill-mid-write, journal-torn-tail, worker-kill, worker-stall, seed)", k)
 		}
 	}
 	return p, nil

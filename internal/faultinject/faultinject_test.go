@@ -184,3 +184,48 @@ func TestJournalFaultsDoNotActivateSimInjection(t *testing.T) {
 		t.Error("combined plan must be active on both levels")
 	}
 }
+
+func TestParseShardFaults(t *testing.T) {
+	p, err := Parse("worker-kill=5,worker-stall=9,seed=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{Seed: 3, WorkerKill: 5, WorkerStall: 9}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	again, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(again, p) {
+		t.Errorf("String round trip changed the plan: %+v vs %+v", again, p)
+	}
+}
+
+// Shard faults target the worker fleet, not the machine model or the
+// journal: they must activate neither of the other injection layers, and
+// the At predicates fire on exactly the configured assignment ordinal.
+func TestShardFaultsAreFleetOnly(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.ShardActive() || nilPlan.WorkerKillAt(1) || nilPlan.WorkerStallAt(1) {
+		t.Error("nil plan must be shard-inert")
+	}
+	p := &Plan{WorkerKill: 5}
+	if p.Active() || p.JournalActive() {
+		t.Error("a worker-kill plan must not activate sim or journal injection")
+	}
+	if !p.ShardActive() {
+		t.Error("ShardActive must see worker-kill")
+	}
+	if !p.WorkerKillAt(5) || p.WorkerKillAt(4) || p.WorkerKillAt(6) || p.WorkerStallAt(5) {
+		t.Error("WorkerKillAt must fire exactly on assignment 5, and only for kill")
+	}
+	q := &Plan{WorkerStall: 2}
+	if q.Active() || q.JournalActive() || !q.ShardActive() {
+		t.Error("a worker-stall plan must be shard-only")
+	}
+	if !q.WorkerStallAt(2) || q.WorkerStallAt(1) || q.WorkerKillAt(2) {
+		t.Error("WorkerStallAt must fire exactly on assignment 2, and only for stall")
+	}
+}

@@ -41,6 +41,7 @@ import (
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 
 	"svf/internal/faultinject"
@@ -178,6 +179,34 @@ type Journal struct {
 // Path returns the journal file's path inside dir.
 func Path(dir string) string { return filepath.Join(dir, "journal.log") }
 
+// writeLockHolder records this process's identity in the (just-acquired)
+// lock file so a losing Open can name who beat it. Best-effort: the lock
+// itself is the flock, not the contents.
+func writeLockHolder(lockf *os.File) {
+	id := fmt.Sprintf("pid %d", os.Getpid())
+	if len(os.Args) > 0 {
+		id += ": " + strings.Join(os.Args, " ")
+	}
+	if len(id) > 512 {
+		id = id[:512]
+	}
+	if err := lockf.Truncate(0); err == nil {
+		lockf.WriteAt([]byte(id), 0)
+		lockf.Sync()
+	}
+}
+
+// readLockHolder returns the identity the current holder wrote, "" when
+// unreadable (an old-format lock file, or a holder that died mid-write).
+func readLockHolder(lockf *os.File) string {
+	buf := make([]byte, 512)
+	n, err := lockf.ReadAt(buf, 0)
+	if n == 0 && err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(buf[:n]))
+}
+
 // Open creates dir if needed, takes the advisory lock, replays any existing
 // records (repairing a torn tail and compacting away superseded records),
 // and returns the journal positioned for appends. A second Open of the same
@@ -191,9 +220,18 @@ func Open(dir string, opts Options) (*Journal, *Replay, error) {
 		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
 	if err := lockFile(lockf); err != nil {
+		// Name the holder: the winning Open wrote its identity into the
+		// lock file, which turns "locked" into an actionable message —
+		// in the sharded-campaign world the usual culprit is a worker
+		// mistakenly pointed at the coordinator's -journal directory.
+		holder := readLockHolder(lockf)
 		lockf.Close()
+		if holder != "" {
+			return nil, nil, fmt.Errorf("%w: %s (held by %s)", ErrLocked, dir, holder)
+		}
 		return nil, nil, fmt.Errorf("%w: %s", ErrLocked, dir)
 	}
+	writeLockHolder(lockf)
 	f, err := os.OpenFile(Path(dir), os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		unlockFile(lockf)

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 
@@ -359,5 +360,21 @@ func TestJournalFreshDirLayout(t *testing.T) {
 	}
 	if _, err := os.Stat(Path(dir)); err != nil {
 		t.Fatalf("journal file missing: %v", err)
+	}
+}
+
+// A contended open must name the holder — the error a worker (or a second
+// coordinator) sees has to say who owns the journal, not just "locked".
+func TestJournalContendedOpenNamesHolder(t *testing.T) {
+	dir := t.TempDir()
+	j, _ := openMust(t, dir, Options{})
+	defer j.Close()
+	_, _, err := Open(dir, Options{})
+	if !errors.Is(err, ErrLocked) {
+		t.Fatalf("second open: err = %v, want ErrLocked", err)
+	}
+	want := fmt.Sprintf("pid %d", os.Getpid())
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("contended-open error %q does not name the holder %q", err, want)
 	}
 }

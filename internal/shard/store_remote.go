@@ -1,0 +1,248 @@
+package shard
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"svf/internal/journal"
+	"svf/internal/sim"
+)
+
+// This file is the coordinator-remote ResultStore: the same Lookup / Put /
+// Fault / Gate / PriorAttempts / Restored operations sim.RunCache performs
+// locally, forwarded over the shard framing so a cache in another process
+// (a TCP-attached client, a future remote coordinator) shares the
+// coordinator's durable state. The request/response protocol is strictly
+// serial per connection — one outstanding request at a time — which keeps
+// both ends free of correlation IDs; a client that wants concurrency opens
+// more connections.
+
+// Store operation names.
+const (
+	opLookup   = "lookup"
+	opPut      = "put"
+	opFault    = "fault"
+	opGate     = "gate"
+	opPrior    = "prior"
+	opRestored = "restored"
+)
+
+// storeReq is one remote-store request.
+type storeReq struct {
+	Op        string
+	Key       string          `json:",omitempty"`
+	Bench     string          `json:",omitempty"`
+	Attempts  uint32          `json:",omitempty"`
+	Budget    uint32          `json:",omitempty"`
+	Permanent bool            `json:",omitempty"`
+	Poison    bool            `json:",omitempty"` // cause carried the immediate-latch marker
+	Msg       string          `json:",omitempty"` // fault cause text
+	Rec       *journal.Record `json:",omitempty"`
+}
+
+// storeResp is one remote-store response.
+type storeResp struct {
+	OK       bool            `json:",omitempty"`
+	Rec      *journal.Record `json:",omitempty"`
+	Attempts uint32          `json:",omitempty"`
+	Latched  *latchedInfo    `json:",omitempty"`
+}
+
+// latchedInfo flattens a sim.LatchedError for the wire.
+type latchedInfo struct {
+	Bench    string
+	Key      string
+	Attempts uint32
+	Msg      string
+	Poison   bool `json:",omitempty"`
+}
+
+// remoteFault carries a remotely-reported fault cause into the server's
+// store; poison preserves the sim.PermanentFaulter marker across the wire
+// so the backing store records a quarantine latch, not a budget one.
+type remoteFault struct {
+	msg    string
+	poison bool
+}
+
+func (e *remoteFault) Error() string        { return e.msg }
+func (e *remoteFault) PermanentFault() bool { return e.poison }
+
+// RemoteStore implements sim.ResultStore over a byte stream speaking the
+// shard store protocol (ServeResultStore is the other end). Transport
+// failures degrade rather than poison the campaign: a broken store means
+// lookups miss, puts and faults are dropped, and gates admit — the client
+// cache keeps working from memory, it just stops sharing. The first
+// transport error is retained (Err) and the connection is not retried.
+type RemoteStore struct {
+	mu   sync.Mutex
+	rw   io.ReadWriter
+	dead error
+}
+
+// NewRemoteStore wraps an established connection.
+func NewRemoteStore(rw io.ReadWriter) *RemoteStore { return &RemoteStore{rw: rw} }
+
+// Err returns the first transport error, nil while the store is healthy.
+func (s *RemoteStore) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dead
+}
+
+// roundTrip performs one serial request/response exchange.
+func (s *RemoteStore) roundTrip(req *storeReq) (*storeResp, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead != nil {
+		return nil, false
+	}
+	if err := writeStoreMsg(s.rw, req); err != nil {
+		s.dead = fmt.Errorf("shard: remote store send %s: %w", req.Op, err)
+		return nil, false
+	}
+	resp := &storeResp{}
+	if err := readStoreMsg(s.rw, resp); err != nil {
+		s.dead = fmt.Errorf("shard: remote store recv %s: %w", req.Op, err)
+		return nil, false
+	}
+	return resp, true
+}
+
+// Lookup implements sim.ResultStore.
+func (s *RemoteStore) Lookup(key string) (journal.Record, bool) {
+	resp, ok := s.roundTrip(&storeReq{Op: opLookup, Key: key})
+	if !ok || !resp.OK || resp.Rec == nil {
+		return journal.Record{}, false
+	}
+	return *resp.Rec, true
+}
+
+// Put implements sim.ResultStore.
+func (s *RemoteStore) Put(rec journal.Record) {
+	s.roundTrip(&storeReq{Op: opPut, Rec: &rec})
+}
+
+// Fault implements sim.ResultStore.
+func (s *RemoteStore) Fault(key, bench string, attempts uint32, permanent bool, cause error) {
+	s.roundTrip(&storeReq{
+		Op: opFault, Key: key, Bench: bench,
+		Attempts: attempts, Permanent: permanent,
+		Poison: sim.IsPermanentFault(cause), Msg: cause.Error(),
+	})
+}
+
+// Gate implements sim.ResultStore.
+func (s *RemoteStore) Gate(key string, budget uint32) error {
+	resp, ok := s.roundTrip(&storeReq{Op: opGate, Key: key, Budget: budget})
+	if !ok || resp.Latched == nil {
+		return nil
+	}
+	li := resp.Latched
+	return &sim.LatchedError{Bench: li.Bench, Key: li.Key, Attempts: li.Attempts, Msg: li.Msg, Poison: li.Poison}
+}
+
+// PriorAttempts implements sim.ResultStore.
+func (s *RemoteStore) PriorAttempts(key string) uint32 {
+	resp, ok := s.roundTrip(&storeReq{Op: opPrior, Key: key})
+	if !ok {
+		return 0
+	}
+	return resp.Attempts
+}
+
+// Restored implements sim.ResultStore.
+func (s *RemoteStore) Restored(key string) bool {
+	resp, ok := s.roundTrip(&storeReq{Op: opRestored, Key: key})
+	return ok && resp.OK
+}
+
+// ServeResultStore answers one connection's store requests against the
+// backing store until the client closes the stream. Run it in a goroutine
+// per accepted connection; the backing store's own locking makes
+// concurrent connections safe.
+func ServeResultStore(store sim.ResultStore, rw io.ReadWriter) error {
+	for {
+		req := &storeReq{}
+		if err := readStoreMsg(rw, req); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		resp := &storeResp{}
+		switch req.Op {
+		case opLookup:
+			if rec, ok := store.Lookup(req.Key); ok {
+				resp.OK, resp.Rec = true, &rec
+			}
+		case opPut:
+			if req.Rec != nil {
+				store.Put(*req.Rec)
+				resp.OK = true
+			}
+		case opFault:
+			store.Fault(req.Key, req.Bench, req.Attempts, req.Permanent, &remoteFault{msg: req.Msg, poison: req.Poison})
+			resp.OK = true
+		case opGate:
+			if err := store.Gate(req.Key, req.Budget); err != nil {
+				li := &latchedInfo{Key: req.Key, Msg: err.Error()}
+				var le *sim.LatchedError
+				if errors.As(err, &le) {
+					li.Bench, li.Key, li.Attempts, li.Msg, li.Poison = le.Bench, le.Key, le.Attempts, le.Msg, le.Poison
+				}
+				resp.Latched = li
+			}
+		case opPrior:
+			resp.Attempts = store.PriorAttempts(req.Key)
+		case opRestored:
+			resp.OK = store.Restored(req.Key)
+		default:
+			// Unknown op: answer with an empty response so the serial
+			// exchange stays in step with a newer client.
+		}
+		if err := writeStoreMsg(rw, resp); err != nil {
+			return err
+		}
+	}
+}
+
+// writeStoreMsg / readStoreMsg reuse the frame codec's length prefix for
+// arbitrary JSON messages (requests one way, responses the other).
+func writeStoreMsg(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if len(data) > maxFrameBytes {
+		return fmt.Errorf("shard: store message of %d bytes exceeds limit", len(data))
+	}
+	buf := make([]byte, 4+len(data))
+	binary.LittleEndian.PutUint32(buf, uint32(len(data)))
+	copy(buf[4:], data)
+	_, err = w.Write(buf)
+	return err
+}
+
+func readStoreMsg(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("shard: read store message header: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrameBytes {
+		return fmt.Errorf("shard: store message length %d exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r, data); err != nil {
+		return err
+	}
+	return json.Unmarshal(data, v)
+}

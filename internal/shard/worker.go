@@ -1,0 +1,167 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"svf/internal/sim"
+)
+
+// Worker is the other end of the coordinator's pipe: it executes one cell
+// at a time, heartbeating while it works. `svfexp -worker` runs one over
+// its stdin/stdout; tests run one in-process over pipes.
+//
+// A worker is deliberately stateless and journal-free — it must never open
+// the coordinator's journal (the advisory flock enforces this; see
+// internal/journal) and it caches nothing. Losing a worker loses only the
+// in-flight cell, which the coordinator's lease machinery re-enqueues.
+type Worker struct {
+	// In carries frames from the coordinator, Out frames back to it.
+	In  io.Reader
+	Out io.Writer
+
+	// Exit replaces os.Exit for the worker-kill chaos flag; tests
+	// override it to observe the death without killing the test binary.
+	Exit func(code int)
+	// Hang replaces the worker-stall wedge (block forever, without
+	// heartbeats); tests override it with something bounded.
+	Hang func()
+
+	wmu sync.Mutex // serialises Out writes (heartbeats vs results)
+}
+
+// WorkerKillExitCode is the exit status of a worker obeying the
+// worker-kill chaos flag — distinguishable in process tables and CI logs
+// from a genuine crash.
+const WorkerKillExitCode = 3
+
+// Run speaks the worker side of the protocol until the coordinator sends
+// shutdown or closes the pipe (both are clean exits: a coordinator that
+// died takes its workers down without noise), or ctx is cancelled.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Exit == nil {
+		w.Exit = os.Exit
+	}
+	if w.Hang == nil {
+		w.Hang = func() {
+			for {
+				time.Sleep(time.Hour)
+			}
+		}
+	}
+	if err := w.write(&Frame{Type: FrameHello, Version: ProtocolVersion, PID: os.Getpid()}); err != nil {
+		return fmt.Errorf("shard: worker hello: %w", err)
+	}
+	for {
+		f, err := readFrame(w.In)
+		if err != nil {
+			if err == io.EOF || ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		switch f.Type {
+		case FrameShutdown:
+			return nil
+		case FrameCell:
+			if err := w.runCell(ctx, f); err != nil {
+				return err
+			}
+		default:
+			// Unknown frames are ignored: an older worker under a newer
+			// coordinator drops what it cannot execute and the lease
+			// expires, which the coordinator already handles.
+		}
+	}
+}
+
+// runCell executes one assignment and reports its outcome under the
+// frame's lease, heartbeating throughout.
+func (w *Worker) runCell(ctx context.Context, f *Frame) error {
+	cell := f.Cell
+	if cell == nil {
+		return fmt.Errorf("shard: cell frame without cell payload")
+	}
+	stopHB := w.startHeartbeats(f.Lease, cell.HeartbeatMS)
+
+	// Chaos flags: the coordinator marked this assignment for a drill.
+	if cell.Kill {
+		// Die abruptly mid-cell, result unsent — what a crash or OOM kill
+		// looks like from the coordinator's side.
+		stopHB()
+		w.Exit(WorkerKillExitCode)
+		return nil // reached only under a test Exit override
+	}
+	if cell.Stall {
+		// Wedge without heartbeats so the lease watchdog must reclaim us.
+		stopHB()
+		w.Hang()
+		return nil
+	}
+
+	out := &Frame{Lease: f.Lease}
+	switch cell.Kind {
+	case CellRun:
+		if cell.Prof == nil || cell.Opt == nil {
+			out.Type, out.Fault = FrameFault, &FaultInfo{Msg: "shard: run cell missing profile or options"}
+			break
+		}
+		res, err := sim.RunContext(ctx, cell.Prof, *cell.Opt)
+		if err != nil {
+			out.Type, out.Fault = FrameFault, faultInfoOf(err)
+		} else {
+			out.Type, out.Run = FrameResult, res
+		}
+	case CellTraffic:
+		if cell.Prof == nil {
+			out.Type, out.Fault = FrameFault, &FaultInfo{Msg: "shard: traffic cell missing profile"}
+			break
+		}
+		in, outQW, cb, err := sim.TrafficOnly(ctx, cell.Prof, cell.Policy, cell.SizeBytes, cell.MaxInsts, cell.CtxPeriod)
+		if err != nil {
+			out.Type, out.Fault = FrameFault, faultInfoOf(err)
+		} else {
+			out.Type, out.In, out.Out, out.CtxBytes = FrameResult, in, outQW, cb
+		}
+	default:
+		out.Type, out.Fault = FrameFault, &FaultInfo{Msg: fmt.Sprintf("shard: unknown cell kind %q", cell.Kind)}
+	}
+	stopHB()
+	return w.write(out)
+}
+
+// startHeartbeats begins the lease's heartbeat ticker and returns its stop
+// function (idempotent).
+func (w *Worker) startHeartbeats(lease uint64, periodMS int64) func() {
+	if periodMS <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	var once sync.Once
+	go func() {
+		t := time.NewTicker(time.Duration(periodMS) * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				// A failed heartbeat write means the coordinator is gone;
+				// the main loop's read will notice, nothing to do here.
+				_ = w.write(&Frame{Type: FrameHeartbeat, Lease: lease})
+			case <-stop:
+				return
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(stop) }) }
+}
+
+// write sends one frame, serialised against concurrent writers.
+func (w *Worker) write(f *Frame) error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	return writeFrame(w.Out, f)
+}

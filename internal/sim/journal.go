@@ -48,10 +48,12 @@ type trafficPayload struct {
 }
 
 // faultPayload is the JSON body of a "fault" record; attempts and the
-// permanent latch travel in the record envelope.
+// permanent latch travel in the record envelope. Poison marks a quarantine
+// latch so a resume re-latches it unconditionally (budget-independent).
 type faultPayload struct {
-	Bench string
-	Msg   string
+	Bench  string
+	Msg    string
+	Poison bool `json:",omitempty"`
 }
 
 // runJournalKey renders a run cell's stable journal identity. The full
@@ -80,16 +82,24 @@ type LatchedError struct {
 	Attempts uint32
 	// Msg is the final attempt's error text.
 	Msg string
+	// Poison marks a quarantine latch (the cell killed K distinct workers;
+	// see PermanentFaulter): it holds regardless of the retry budget, since
+	// the quarantine verdict is about worker deaths, not attempts.
+	Poison bool
 }
 
 // Error implements error.
 func (e *LatchedError) Error() string {
+	if e.Poison {
+		return fmt.Sprintf("sim: %s: quarantined as a poison cell after %d attempt(s): %s",
+			e.Bench, e.Attempts, e.Msg)
+	}
 	return fmt.Sprintf("sim: %s: latched as permanently failed after %d attempt(s) (journal): %s",
 		e.Bench, e.Attempts, e.Msg)
 }
 
-// journalBackend is the RunCache's bridge to an open journal: it appends
-// result/fault records and holds the replayed per-cell fault state.
+// journalBackend is the journal-backed ResultStore: it appends result/fault
+// records durably and holds the replayed per-cell state.
 type journalBackend struct {
 	j *journal.Journal
 
@@ -103,22 +113,30 @@ type journalBackend struct {
 	// telemetry layer can tell a disk-restored hit (cache_restore) from an
 	// ordinary in-memory one (cache_hit).
 	restored map[string]bool
+	// records holds the live completed records by key (from the replay
+	// plus this session's Puts) so Lookup can serve them — the
+	// content-addressed result store a remote client reads through.
+	records map[string]journal.Record
 }
 
-// restoredCell reports whether key was seeded by the journal replay.
-// Nil-safe: plain in-memory caches have no backend and nothing restored.
-func (b *journalBackend) restoredCell(key string) bool {
-	if b == nil || key == "" {
-		return false
-	}
+// Restored implements ResultStore: whether key was seeded by the replay.
+func (b *journalBackend) Restored(key string) bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.restored[key]
 }
 
-// priorAttempts returns how many times the cell has already failed,
-// including in previous sessions.
-func (b *journalBackend) priorAttempts(key string) uint32 {
+// Lookup implements ResultStore.
+func (b *journalBackend) Lookup(key string) (journal.Record, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	rec, ok := b.records[key]
+	return rec, ok
+}
+
+// PriorAttempts implements ResultStore: how many times the cell has already
+// failed, including in previous sessions.
+func (b *journalBackend) PriorAttempts(key string) uint32 {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if e := b.latched[key]; e != nil {
@@ -127,43 +145,46 @@ func (b *journalBackend) priorAttempts(key string) uint32 {
 	return b.attempts[key]
 }
 
-// gate returns the latched error for a cell whose recorded attempts meet or
-// exceed the current budget, or nil when the cell may (re)execute. A cell
-// latched under a smaller -retries budget becomes retryable again when the
-// budget is raised: the latch stores attempts, not a verdict.
-func (b *journalBackend) gate(key string, budget uint32) error {
+// Gate implements ResultStore: the latched error for a cell whose recorded
+// attempts meet or exceed the current budget, or nil when the cell may
+// (re)execute. A cell latched under a smaller -retries budget becomes
+// retryable again when the budget is raised: the latch stores attempts, not
+// a verdict. Poison latches are the exception — they hold at any budget.
+func (b *journalBackend) Gate(key string, budget uint32) error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	if e := b.latched[key]; e != nil && e.Attempts >= budget {
+	if e := b.latched[key]; e != nil && (e.Poison || e.Attempts >= budget) {
 		return e
 	}
 	return nil
 }
 
-// success journals a finished cell and clears its fault state. An append
-// error only costs durability — the in-memory result is already good — so
-// it is swallowed after marking the journal dead (it reports itself once
-// via Journal.Stats/Close paths).
-func (b *journalBackend) success(rec journal.Record) {
+// Put implements ResultStore: journals a finished cell and clears its fault
+// state. An append error only costs durability — the in-memory result is
+// already good — so it is swallowed after marking the journal dead (it
+// reports itself once via Journal.Stats/Close paths).
+func (b *journalBackend) Put(rec journal.Record) {
 	b.mu.Lock()
 	delete(b.attempts, rec.Key)
 	delete(b.latched, rec.Key)
+	b.records[rec.Key] = rec
 	b.mu.Unlock()
 	b.j.Append(rec)
 }
 
-// fault journals one failed execution attempt (cumulative count) and, when
-// the budget is exhausted, latches the cell permanently.
-func (b *journalBackend) fault(key, bench string, attempts uint32, permanent bool, cause error) {
+// Fault implements ResultStore: journals one failed execution attempt
+// (cumulative count) and, when permanent, latches the cell.
+func (b *journalBackend) Fault(key, bench string, attempts uint32, permanent bool, cause error) {
+	poison := isPermanentFault(cause)
 	b.mu.Lock()
 	if permanent {
-		b.latched[key] = &LatchedError{Bench: bench, Key: key, Attempts: attempts, Msg: cause.Error()}
+		b.latched[key] = &LatchedError{Bench: bench, Key: key, Attempts: attempts, Msg: cause.Error(), Poison: poison}
 		delete(b.attempts, key)
 	} else {
 		b.attempts[key] = attempts
 	}
 	b.mu.Unlock()
-	data, err := json.Marshal(faultPayload{Bench: bench, Msg: cause.Error()})
+	data, err := json.Marshal(faultPayload{Bench: bench, Msg: cause.Error(), Poison: poison})
 	if err != nil {
 		return
 	}
@@ -227,47 +248,38 @@ func (s RestoreStats) String() string {
 // recompute on resume.
 func NewRunCacheWithJournal(j *journal.Journal, rep *journal.Replay) (*RunCache, RestoreStats) {
 	c := NewRunCache()
-	c.jb = &journalBackend{
+	jb := &journalBackend{
 		j:        j,
 		attempts: map[string]uint32{},
 		latched:  map[string]*LatchedError{},
 		restored: map[string]bool{},
+		records:  map[string]journal.Record{},
 	}
+	c.store = jb
 	var rs RestoreStats
 	if rep != nil {
 		rs.Journal = rep.Stats
 		for _, rec := range rep.Records {
 			switch rec.Kind {
 			case recKindRun:
-				var p runPayload
-				if json.Unmarshal(rec.Data, &p) != nil || p.Res == nil {
+				key, res, ok := decodeRunRecord(rec)
+				if !ok {
 					rs.SkippedDecode++
 					continue
 				}
-				// Re-canonicalise the decoded options so a journal
-				// written before a defaults change still lands on
-				// today's key for the same machine.
-				key := runKey{p.Prof, Canonical(p.Opt)}
-				if runJournalKey(key) != rec.Key {
-					rs.SkippedDecode++
-					continue
-				}
-				c.runs.seed(key, p.Res)
-				c.jb.restored[rec.Key] = true
+				c.runs.seed(key, res)
+				jb.restored[rec.Key] = true
+				jb.records[rec.Key] = rec
 				rs.Runs++
 			case recKindTraffic:
-				var p trafficPayload
-				if json.Unmarshal(rec.Data, &p) != nil {
+				key, v, ok := decodeTrafficRecord(rec)
+				if !ok {
 					rs.SkippedDecode++
 					continue
 				}
-				key := trafficKey{p.Prof, p.Policy, p.SizeBytes, p.MaxInsts, p.CtxPeriod}
-				if trafficJournalKey(key) != rec.Key {
-					rs.SkippedDecode++
-					continue
-				}
-				c.traffic.seed(key, trafficVal{p.In, p.Out, p.CtxBytes})
-				c.jb.restored[rec.Key] = true
+				c.traffic.seed(key, v)
+				jb.restored[rec.Key] = true
+				jb.records[rec.Key] = rec
 				rs.Traffic++
 			case recKindFault:
 				var p faultPayload
@@ -276,12 +288,12 @@ func NewRunCacheWithJournal(j *journal.Journal, rep *journal.Replay) (*RunCache,
 					continue
 				}
 				if rec.Permanent {
-					c.jb.latched[rec.Key] = &LatchedError{
-						Bench: p.Bench, Key: rec.Key, Attempts: rec.Attempts, Msg: p.Msg,
+					jb.latched[rec.Key] = &LatchedError{
+						Bench: p.Bench, Key: rec.Key, Attempts: rec.Attempts, Msg: p.Msg, Poison: p.Poison,
 					}
 					rs.Latched++
 				} else {
-					c.jb.attempts[rec.Key] = rec.Attempts
+					jb.attempts[rec.Key] = rec.Attempts
 					rs.Faulted++
 				}
 			default:
@@ -293,6 +305,37 @@ func NewRunCacheWithJournal(j *journal.Journal, rep *journal.Replay) (*RunCache,
 	return c, rs
 }
 
+// decodeRunRecord decodes a "run" journal record back into its typed cell.
+// The decoded options are re-canonicalised so a journal written before a
+// defaults change still lands on today's key for the same machine; a record
+// whose key no longer round-trips is rejected (costs a re-execution, never a
+// wrong result).
+func decodeRunRecord(rec journal.Record) (runKey, *Result, bool) {
+	var p runPayload
+	if json.Unmarshal(rec.Data, &p) != nil || p.Res == nil {
+		return runKey{}, nil, false
+	}
+	key := runKey{p.Prof, Canonical(p.Opt)}
+	if runJournalKey(key) != rec.Key {
+		return runKey{}, nil, false
+	}
+	return key, p.Res, true
+}
+
+// decodeTrafficRecord decodes a "traffic" journal record back into its
+// typed cell, rejecting records whose key no longer round-trips.
+func decodeTrafficRecord(rec journal.Record) (trafficKey, trafficVal, bool) {
+	var p trafficPayload
+	if json.Unmarshal(rec.Data, &p) != nil {
+		return trafficKey{}, trafficVal{}, false
+	}
+	key := trafficKey{p.Prof, p.Policy, p.SizeBytes, p.MaxInsts, p.CtxPeriod}
+	if trafficJournalKey(key) != rec.Key {
+		return trafficKey{}, trafficVal{}, false
+	}
+	return key, trafficVal{p.In, p.Out, p.CtxBytes}, true
+}
+
 // Restore returns what the journal replay put back into this cache (zero
 // for caches without a journal).
 func (c *RunCache) Restore() RestoreStats { return c.restore }
@@ -300,15 +343,16 @@ func (c *RunCache) Restore() RestoreStats { return c.restore }
 // RestoredFaults returns the permanently latched cells replayed from the
 // journal, in deterministic (key) order, as errors ready for a fault log.
 func (c *RunCache) RestoredFaults() []error {
-	if c.jb == nil {
+	jb, ok := c.store.(*journalBackend)
+	if !ok {
 		return nil
 	}
-	c.jb.mu.Lock()
-	latched := make([]*LatchedError, 0, len(c.jb.latched))
-	for _, e := range c.jb.latched {
+	jb.mu.Lock()
+	latched := make([]*LatchedError, 0, len(jb.latched))
+	for _, e := range jb.latched {
 		latched = append(latched, e)
 	}
-	c.jb.mu.Unlock()
+	jb.mu.Unlock()
 	sort.Slice(latched, func(i, j int) bool { return latched[i].Key < latched[j].Key })
 	out := make([]error, len(latched))
 	for i, e := range latched {
@@ -384,10 +428,10 @@ func (c *RunCache) backoffFor(key string, attempt uint32) time.Duration {
 }
 
 // sleepBackoff waits the cell's backoff delay before a retry, honouring
-// cancellation. Journal-less caches return immediately: their single retry
+// cancellation. Store-less caches return immediately: their single retry
 // has always been immediate and stays that way.
 func (c *RunCache) sleepBackoff(ctx context.Context, key string, attempt uint32) error {
-	if c.jb == nil {
+	if c.store == nil {
 		return nil
 	}
 	d := c.backoffFor(key, attempt)

@@ -277,7 +277,7 @@ func TestJournaledCacheShrunkenBudgetStillRetriesOnce(t *testing.T) {
 func TestJournaledBackoffDeterministic(t *testing.T) {
 	mk := func(seed int64) *RunCache {
 		c := NewRunCache()
-		c.jb = &journalBackend{attempts: map[string]uint32{}, latched: map[string]*LatchedError{}}
+		c.store = &journalBackend{attempts: map[string]uint32{}, latched: map[string]*LatchedError{}}
 		c.SetBackoff(100*time.Millisecond, 5*time.Second, seed, nil)
 		return c
 	}

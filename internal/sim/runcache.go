@@ -57,9 +57,13 @@ type RunCache struct {
 	// seam for exercising retry accounting deterministically.
 	runFn func(context.Context, *synth.Profile, Options) (*Result, error)
 
-	// jb is the durable backend (nil for plain in-memory caches) and
-	// restore what its replay put back. See journal.go.
-	jb      *journalBackend
+	// exec, when non-nil, replaces local execution of cache misses (the
+	// shard coordinator's worker pool). See SetExecutor.
+	exec Executor
+
+	// store is the cell-state backend (nil for plain in-memory caches)
+	// and restore what a journal replay put back. See store.go/journal.go.
+	store   ResultStore
 	restore RestoreStats
 
 	// obs is the attached telemetry observer, nil when observability is
@@ -127,20 +131,23 @@ func Canonical(opt Options) Options {
 // cacheExec runs fn under the cache's bounded-retry supervision: a
 // contained *Fault is re-executed until the attempt budget (SetRetries+1
 // total executions) is spent, then reported. Cancellation and configuration
-// errors are never retried — they would fail identically. Every failed
-// attempt counts in cnt.errors; every re-execution in cnt.retries.
+// errors are never retried — they would fail identically. An error carrying
+// the PermanentFaulter marker (a poison cell quarantined by the shard
+// coordinator) is latched immediately, budget or not. Every failed attempt
+// counts in cnt.errors; every re-execution in cnt.retries.
 //
-// When the cache is journaled and key is non-empty, supervision is durable:
-// prior attempts replayed from the journal count against the budget, each
-// retry waits out the cell's seeded exponential backoff, every failure is
-// appended as a fault record (the final one latched permanent), and a
-// success is appended via record so a later process restores it from disk.
+// When the cache has a store and key is non-empty, supervision spans the
+// store's lifetime (for the journal backend: across process death): prior
+// attempts count against the budget, each retry waits out the cell's seeded
+// exponential backoff, every failure is recorded as a fault (the final one
+// latched permanent), and a success is recorded via record so a later
+// request — or, for durable stores, a later process — restores it.
 func cacheExec[V any](ctx context.Context, c *RunCache, key, bench string, fn func() (V, error), record func(V) (journal.Record, error)) (V, error) {
-	journaled := c.jb != nil && key != ""
+	stored := c.store != nil && key != ""
 	budget := c.attemptBudget()
 	var attempts uint32
-	if journaled {
-		if attempts = c.jb.priorAttempts(key); attempts >= budget {
+	if stored {
+		if attempts = c.store.PriorAttempts(key); attempts >= budget {
 			// A pending (non-permanent) fault record always owes the
 			// cell one more execution, even if -retries shrank.
 			attempts = budget - 1
@@ -149,8 +156,8 @@ func cacheExec[V any](ctx context.Context, c *RunCache, key, bench string, fn fu
 	for {
 		if attempts > 0 {
 			// This execution is a retry — of a failure earlier in this
-			// loop, or of a fault replayed from the journal.
-			if journaled {
+			// loop, or of a fault replayed from the store.
+			if stored {
 				if err := c.sleepBackoff(ctx, key, attempts); err != nil {
 					var zero V
 					return zero, err
@@ -162,28 +169,33 @@ func cacheExec[V any](ctx context.Context, c *RunCache, key, bench string, fn fu
 		}
 		v, err := fn()
 		if err == nil {
-			if journaled && record != nil {
+			if stored && record != nil {
 				if rec, rerr := record(v); rerr == nil {
-					c.jb.success(rec)
+					c.store.Put(rec)
 				}
 			}
 			return v, nil
 		}
 		c.cnt.errors.Inc()
+		poison := isPermanentFault(err)
 		var f *Fault
-		if !errors.As(err, &f) || ctx.Err() != nil {
+		if (!errors.As(err, &f) && !poison) || ctx.Err() != nil {
 			return v, err
 		}
 		attempts++
-		permanent := attempts >= budget
-		c.obs.emit(telemetry.Event{
-			Type: "run_fault", Bench: bench, Key: key, Fingerprint: f.Fingerprint,
-			Cycles: f.Cycle, Committed: f.Committed, Attempt: attempts, Err: err.Error(),
-		})
+		permanent := attempts >= budget || poison
+		ev := telemetry.Event{
+			Type: "run_fault", Bench: bench, Key: key,
+			Attempt: attempts, Err: err.Error(),
+		}
+		if f != nil {
+			ev.Fingerprint, ev.Cycles, ev.Committed = f.Fingerprint, f.Cycle, f.Committed
+		}
+		c.obs.emit(ev)
 		c.obs.count("svf_sim_run_faults_total", 1)
 		c.obs.progressFault()
-		if journaled {
-			c.jb.fault(key, bench, attempts, permanent, err)
+		if stored {
+			c.store.Fault(key, bench, attempts, permanent, err)
 		}
 		if permanent {
 			c.obs.emit(telemetry.Event{Type: "latched", Bench: bench, Key: key, Attempt: attempts, Err: err.Error()})
@@ -204,7 +216,11 @@ func (c *RunCache) Run(ctx context.Context, prof *synth.Profile, opt Options) (*
 	}
 	run := c.runFn
 	if run == nil {
-		run = RunContext
+		if c.exec != nil {
+			run = c.exec.ExecRun
+		} else {
+			run = RunContext
+		}
 	}
 	// With an observer attached, every executed run carries a probe
 	// mirroring into the shared registry, so /metrics aggregates occupancy
@@ -240,18 +256,19 @@ func (c *RunCache) Run(ctx context.Context, prof *synth.Profile, opt Options) (*
 	}
 	key := runKey{prof.Fingerprint(), Canonical(opt)}
 	var skey string
-	if c.jb != nil {
+	if c.store != nil {
 		skey = runJournalKey(key)
-		if gerr := c.jb.gate(skey, c.attemptBudget()); gerr != nil {
+		if gerr := c.store.Gate(skey, c.attemptBudget()); gerr != nil {
 			c.cnt.latched.Inc()
 			c.obs.emit(telemetry.Event{Type: "latched", Bench: prof.ID(), Key: skey, Err: gerr.Error(), Detail: "refused without execution"})
 			return nil, gerr
 		}
+		c.seedRunFromStore(key, skey)
 	}
 	var onServe func(shared bool)
 	if c.obs != nil {
 		onServe = func(shared bool) {
-			c.obs.serveEvent(prof.ID(), skey, fp, shared, c.jb.restoredCell(skey))
+			c.obs.serveEvent(prof.ID(), skey, fp, shared, c.storeRestored(skey))
 		}
 	}
 	res, err := c.runs.do(ctx, key, &c.cnt, onServe, func() (*Result, error) {
@@ -284,23 +301,28 @@ func (c *RunCache) Traffic(ctx context.Context, prof *synth.Profile, policy pipe
 	}
 	key := trafficKey{prof.Fingerprint(), policy, sizeBytes, maxInsts, ctxPeriod}
 	var skey string
-	if c.jb != nil {
+	if c.store != nil {
 		skey = trafficJournalKey(key)
-		if gerr := c.jb.gate(skey, c.attemptBudget()); gerr != nil {
+		if gerr := c.store.Gate(skey, c.attemptBudget()); gerr != nil {
 			c.cnt.latched.Inc()
 			c.obs.emit(telemetry.Event{Type: "latched", Bench: prof.ID(), Key: skey, Err: gerr.Error(), Detail: "refused without execution"})
 			return 0, 0, 0, gerr
 		}
+		c.seedTrafficFromStore(key, skey)
 	}
 	var onServe func(shared bool)
 	if c.obs != nil {
 		onServe = func(shared bool) {
-			c.obs.serveEvent(prof.ID(), skey, "", shared, c.jb.restoredCell(skey))
+			c.obs.serveEvent(prof.ID(), skey, "", shared, c.storeRestored(skey))
 		}
+	}
+	execTraffic := TrafficOnly
+	if c.exec != nil {
+		execTraffic = c.exec.ExecTraffic
 	}
 	v, err := c.traffic.do(ctx, key, &c.cnt, onServe, func() (trafficVal, error) {
 		return cacheExec(ctx, c, skey, prof.ID(), func() (trafficVal, error) {
-			in, out, cb, err := TrafficOnly(ctx, prof, policy, sizeBytes, maxInsts, ctxPeriod)
+			in, out, cb, err := execTraffic(ctx, prof, policy, sizeBytes, maxInsts, ctxPeriod)
 			return trafficVal{in, out, cb}, err
 		}, func(v trafficVal) (journal.Record, error) {
 			data, err := json.Marshal(trafficPayload{
@@ -500,6 +522,14 @@ func (g *flightGroup[K, V]) len() int {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return len(g.m)
+}
+
+// has reports whether key is resident (completed or in flight).
+func (g *flightGroup[K, V]) has(key K) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.m[key]
+	return ok
 }
 
 // seed installs an already-completed entry (a cell restored from the

@@ -1,0 +1,238 @@
+package sim
+
+import (
+	"context"
+	"sync"
+
+	"svf/internal/journal"
+	"svf/internal/pipeline"
+	"svf/internal/synth"
+)
+
+// ResultStore is the storage backend behind a RunCache: it persists
+// completed cells as journal records, remembers per-cell fault attempts so
+// the bounded-retry supervision survives the cache (and, for durable
+// backends, the process), and gates cells whose budget is exhausted.
+//
+// Three backends exist:
+//
+//   - the in-memory store (NewMemStore): attempts and quarantine latches
+//     hold for the process lifetime only — what a sharded campaign without
+//     a journal uses so a poison cell stays latched;
+//   - the journaled store (NewRunCacheWithJournal): every Put/Fault is a
+//     durable journal append and the whole state survives kill -9;
+//   - the coordinator-remote store (internal/shard.RemoteStore): the same
+//     operations forwarded over the shard wire protocol, so a worker- or
+//     client-side cache shares the coordinator's durable state.
+//
+// All methods must be safe for concurrent use.
+type ResultStore interface {
+	// Lookup returns the persisted record for a completed cell, if the
+	// store has one. The cache decodes it and serves the cell without
+	// executing.
+	Lookup(key string) (journal.Record, bool)
+	// Put persists a completed cell, superseding any fault state for it.
+	Put(rec journal.Record)
+	// Fault persists one failed execution attempt (cumulative count);
+	// permanent latches the cell so Gate refuses it from now on.
+	Fault(key, bench string, attempts uint32, permanent bool, cause error)
+	// Gate returns the cell's *LatchedError when its recorded attempts
+	// meet or exceed budget, nil when it may (re)execute.
+	Gate(key string, budget uint32) error
+	// PriorAttempts returns how many times the cell has already failed,
+	// including (for durable backends) in previous sessions.
+	PriorAttempts(key string) uint32
+	// Restored reports whether the cell was seeded from a previous
+	// session (journal replay); the telemetry layer uses it to tell a
+	// cache_restore from an ordinary cache_hit.
+	Restored(key string) bool
+}
+
+// MemStore is the in-memory ResultStore: completed records, fault attempts
+// and permanent latches held in maps for the process lifetime. Nothing is
+// durable, but the retry budget, backoff and poison-cell quarantine
+// semantics are identical to the journaled backend — which is exactly what
+// a sharded campaign without -journal needs.
+type MemStore struct {
+	mu       sync.Mutex
+	records  map[string]journal.Record
+	attempts map[string]uint32
+	latched  map[string]*LatchedError
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{
+		records:  map[string]journal.Record{},
+		attempts: map[string]uint32{},
+		latched:  map[string]*LatchedError{},
+	}
+}
+
+// Lookup implements ResultStore.
+func (s *MemStore) Lookup(key string) (journal.Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.records[key]
+	return rec, ok
+}
+
+// Put implements ResultStore.
+func (s *MemStore) Put(rec journal.Record) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records[rec.Key] = rec
+	delete(s.attempts, rec.Key)
+	delete(s.latched, rec.Key)
+}
+
+// Fault implements ResultStore.
+func (s *MemStore) Fault(key, bench string, attempts uint32, permanent bool, cause error) {
+	poison := isPermanentFault(cause)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if permanent {
+		s.latched[key] = &LatchedError{Bench: bench, Key: key, Attempts: attempts, Msg: cause.Error(), Poison: poison}
+		delete(s.attempts, key)
+		return
+	}
+	s.attempts[key] = attempts
+}
+
+// Gate implements ResultStore. Like the journaled backend, the latch stores
+// attempts rather than a verdict: raising the budget past Attempts makes
+// the cell retryable again — except for poison latches, which hold at any
+// budget (the quarantine counted worker deaths, not attempts).
+func (s *MemStore) Gate(key string, budget uint32) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.latched[key]; e != nil && (e.Poison || e.Attempts >= budget) {
+		return e
+	}
+	return nil
+}
+
+// PriorAttempts implements ResultStore.
+func (s *MemStore) PriorAttempts(key string) uint32 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e := s.latched[key]; e != nil {
+		return e.Attempts
+	}
+	return s.attempts[key]
+}
+
+// Restored implements ResultStore; an in-memory store has no previous
+// session to restore from.
+func (s *MemStore) Restored(string) bool { return false }
+
+// NewRunCacheWithStore returns a cache whose cell state lives in store:
+// completed cells are Put (and served back via Lookup without
+// re-executing), failed attempts accumulate across the store's lifetime
+// under the retry budget with backoff, and latched cells are refused at the
+// gate. NewRunCacheWithJournal is this constructor specialised to the
+// journal backend; pass a MemStore for process-lifetime-only semantics or a
+// shard.RemoteStore to share a coordinator's state.
+func NewRunCacheWithStore(store ResultStore) *RunCache {
+	c := NewRunCache()
+	c.store = store
+	return c
+}
+
+// Store returns the cache's result store (nil for a plain cache).
+func (c *RunCache) Store() ResultStore { return c.store }
+
+// Executor replaces the local execution of cache misses — the seam the
+// shard coordinator plugs its worker pool into. Everything above it
+// (single-flight dedup, the retry/backoff budget, journaling, latching,
+// telemetry) is unchanged; only the raw simulation moves out of process.
+//
+// Executors must honour the *Fault contract: a contained simulation
+// failure (including a worker death or an expired lease, which are faults
+// of the fleet rather than of the machine model) comes back as an error
+// matching *Fault so the cache's bounded retry re-enqueues the cell, while
+// configuration errors and context cancellation come back untyped and are
+// not retried. An error additionally implementing PermanentFaulter latches
+// the cell immediately, budget or not — the poison-cell quarantine path.
+type Executor interface {
+	ExecRun(ctx context.Context, prof *synth.Profile, opt Options) (*Result, error)
+	ExecTraffic(ctx context.Context, prof *synth.Profile, policy pipeline.StackPolicy, sizeBytes, maxInsts int, ctxPeriod uint64) (qwIn, qwOut, ctxBytes uint64, err error)
+}
+
+// SetExecutor routes this cache's simulations through ex instead of running
+// them in process. Characterisation passes stay local: they are cheap
+// functional passes not worth a round trip. Call before the sweep starts;
+// the cache does not synchronise against a concurrent swap.
+func (c *RunCache) SetExecutor(ex Executor) { c.exec = ex }
+
+// PermanentFaulter marks an error that must latch its cell immediately:
+// retrying cannot help. The shard coordinator's poison-cell error (a cell
+// that has killed K distinct workers) implements it; the cache latches such
+// cells in the store even when retry budget remains.
+type PermanentFaulter interface {
+	PermanentFault() bool
+}
+
+// IsPermanentFault reports whether err carries the immediate-latch marker
+// anywhere in its unwrap chain.
+func IsPermanentFault(err error) bool {
+	for e := err; e != nil; e = unwrapOnce(e) {
+		if pf, ok := e.(PermanentFaulter); ok && pf.PermanentFault() {
+			return true
+		}
+	}
+	return false
+}
+
+// isPermanentFault is the package-internal alias.
+func isPermanentFault(err error) bool { return IsPermanentFault(err) }
+
+// unwrapOnce is errors.Unwrap without the multi-error fan-out (a linear
+// chain is all the cache ever builds).
+func unwrapOnce(err error) error {
+	u, ok := err.(interface{ Unwrap() error })
+	if !ok {
+		return nil
+	}
+	return u.Unwrap()
+}
+
+// storeRestored reports whether the store seeded this key from a previous
+// session; nil-safe for plain in-memory caches.
+func (c *RunCache) storeRestored(key string) bool {
+	if c.store == nil || key == "" {
+		return false
+	}
+	return c.store.Restored(key)
+}
+
+// seedFromStore consults the store for a completed cell the in-memory map
+// does not have yet — how a cache over a remote (or freshly attached) store
+// restores cells lazily — and seeds it so the request is served as an
+// ordinary hit. The journal-backed cache seeds eagerly at open; this path
+// only fires for keys the replay did not cover.
+func (c *RunCache) seedRunFromStore(key runKey, skey string) {
+	if c.store == nil || c.runs.has(key) {
+		return
+	}
+	rec, ok := c.store.Lookup(skey)
+	if !ok || rec.Kind != recKindRun {
+		return
+	}
+	if k, res, ok := decodeRunRecord(rec); ok && k == key {
+		c.runs.seed(k, res)
+	}
+}
+
+func (c *RunCache) seedTrafficFromStore(key trafficKey, skey string) {
+	if c.store == nil || c.traffic.has(key) {
+		return
+	}
+	rec, ok := c.store.Lookup(skey)
+	if !ok || rec.Kind != recKindTraffic {
+		return
+	}
+	if k, v, ok := decodeTrafficRecord(rec); ok && k == key {
+		c.traffic.seed(k, v)
+	}
+}

@@ -58,7 +58,7 @@ func (c *RunCache) SetObserver(o *Observer) {
 		r.Help("svf_cache_hits_total", "requests served from a completed cache entry")
 		r.Help("svf_cache_restored_hits_total", "cache hits served from journal-restored cells")
 	}
-	if c.jb != nil {
+	if _, journaled := c.store.(*journalBackend); journaled {
 		rs := c.restore
 		o.emit(telemetry.Event{
 			Type:        "journal_restore",

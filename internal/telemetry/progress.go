@@ -12,6 +12,9 @@ import (
 type Progress struct {
 	start                        time.Time
 	total, done, faults, latched atomic.Int64
+	// shard, when set, supplies the live worker-fleet section of the
+	// snapshot (sharded campaigns; see SetShard).
+	shard atomic.Value // of func() ShardStatus
 }
 
 // NewProgress returns a tracker whose ETA clock starts now.
@@ -52,6 +55,43 @@ func (p *Progress) Latched() {
 	p.latched.Add(1)
 }
 
+// ShardWorker is one worker slot's liveness as served at /progress.
+type ShardWorker struct {
+	Slot  int  `json:"slot"`
+	PID   int  `json:"pid"`
+	Gen   int  `json:"gen"`
+	Alive bool `json:"alive"`
+	// Bench and LeaseAgeMS describe the in-flight lease, when one exists.
+	Bench      string `json:"bench,omitempty"`
+	LeaseAgeMS int64  `json:"lease_age_ms,omitempty"`
+}
+
+// ShardStatus is the sharded campaign's supervision state: per-worker
+// liveness and lease age plus the coordinator's re-enqueue/quarantine
+// counters. The shard package populates it; telemetry only carries it so
+// /progress can serve the fleet without an import cycle.
+type ShardStatus struct {
+	Workers         []ShardWorker `json:"workers"`
+	Assigned        uint64        `json:"assigned"`
+	Completed       uint64        `json:"completed"`
+	Reenqueued      uint64        `json:"reenqueued"`
+	LeaseExpired    uint64        `json:"lease_expired"`
+	WorkerDeaths    uint64        `json:"worker_deaths"`
+	Respawns        uint64        `json:"respawns"`
+	StaleResults    uint64        `json:"stale_results"`
+	StaleHeartbeats uint64        `json:"stale_heartbeats"`
+	Quarantined     uint64        `json:"quarantined"`
+}
+
+// SetShard attaches a live fleet-status source; every Snapshot (and thus
+// every /progress response) calls it. Nil-safe.
+func (p *Progress) SetShard(fn func() ShardStatus) {
+	if p == nil || fn == nil {
+		return
+	}
+	p.shard.Store(fn)
+}
+
 // ProgressSnapshot is the JSON shape served at /progress.
 type ProgressSnapshot struct {
 	Done       int64   `json:"done"`
@@ -62,6 +102,9 @@ type ProgressSnapshot struct {
 	// ETASec extrapolates remaining wall time from the completion rate so
 	// far; -1 when no cells have finished yet.
 	ETASec float64 `json:"eta_sec"`
+	// Shard is the worker-fleet section, present only for sharded
+	// campaigns (SetShard).
+	Shard *ShardStatus `json:"shard,omitempty"`
 }
 
 // Snapshot returns the current state. Nil-safe (returns zeroes).
@@ -81,6 +124,10 @@ func (p *Progress) Snapshot() ProgressSnapshot {
 		s.ETASec = s.ElapsedSec / float64(s.Done) * float64(s.Total-s.Done)
 	} else if s.Done >= s.Total && s.Total > 0 {
 		s.ETASec = 0
+	}
+	if fn, ok := p.shard.Load().(func() ShardStatus); ok {
+		st := fn()
+		s.Shard = &st
 	}
 	return s
 }
