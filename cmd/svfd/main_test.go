@@ -1,0 +1,331 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// svfdBin is the binary built once by TestMain for the CLI-level drills.
+var svfdBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "svfd-test")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	svfdBin = filepath.Join(dir, "svfd")
+	out, err := exec.Command("go", "build", "-o", svfdBin, ".").CombinedOutput()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "building svfd: %v\n%s", err, out)
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// daemon is one running svfd process under test.
+type daemon struct {
+	cmd    *exec.Cmd
+	addr   string // service listener, from "svfd: listening on ..."
+	obs    string // observability listener, from "obs: listening on ..."
+	stderr *bytes.Buffer
+	stdout *bytes.Buffer
+	mu     sync.Mutex
+	waited bool
+	state  *os.ProcessState
+}
+
+// startDaemon launches svfd and waits for the ready line, harvesting the
+// printed listener addresses on the way.
+func startDaemon(t *testing.T, args ...string) *daemon {
+	t.Helper()
+	d := &daemon{stderr: &bytes.Buffer{}, stdout: &bytes.Buffer{}}
+	d.cmd = exec.Command(svfdBin, append([]string{"-listen", "127.0.0.1:0"}, args...)...)
+	d.cmd.Stderr = d.stderr
+	pipe, err := d.cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		d.cmd.Process.Kill()
+		d.wait()
+	})
+	ready := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			d.mu.Lock()
+			d.stdout.WriteString(line + "\n")
+			if a, ok := strings.CutPrefix(line, "svfd: listening on "); ok {
+				d.addr = a
+			}
+			if a, ok := strings.CutPrefix(line, "obs: listening on "); ok {
+				d.obs = a
+			}
+			d.mu.Unlock()
+			if line == "svfd: ready" {
+				close(ready)
+			}
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("svfd never became ready; stderr:\n%s", d.stderr.String())
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.addr == "" {
+		t.Fatal("svfd printed no listener address")
+	}
+	return d
+}
+
+// wait reaps the process once and returns its exit code.
+func (d *daemon) wait() int {
+	d.mu.Lock()
+	if !d.waited {
+		d.waited = true
+		d.mu.Unlock()
+		err := d.cmd.Wait()
+		d.mu.Lock()
+		if ee, ok := err.(*exec.ExitError); ok {
+			d.state = ee.ProcessState
+		} else {
+			d.state = d.cmd.ProcessState
+		}
+	}
+	defer d.mu.Unlock()
+	if d.state == nil {
+		return 0
+	}
+	return d.state.ExitCode()
+}
+
+func (d *daemon) url(path string) string { return "http://" + d.addr + path }
+
+func smallSpec() string {
+	return `{"cells":[
+		{"kind":"run","bench":"186.crafty.ref","opt":{"Policy":1,"SVFInfinite":true,"MaxInsts":2000}},
+		{"kind":"traffic","bench":"186.crafty.ref","policy":"svf","max_insts":2000}
+	]}`
+}
+
+func postSpec(t *testing.T, d *daemon, spec string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(d.url("/v1/jobs"), "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out
+}
+
+func waitDone(t *testing.T, d *daemon, id string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(d.url("/v1/jobs/" + id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st map[string]any
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st["state"] == "done" {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s did not finish; stderr:\n%s", id, d.stderr.String())
+	return nil
+}
+
+func getResults(t *testing.T, d *daemon, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(d.url("/v1/jobs/" + id + "/results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestServeAndGracefulDrain: the daemon serves the full API (including
+// /readyz reporting both bound listener addresses), then SIGTERM drains
+// and exits 0.
+func TestServeAndGracefulDrain(t *testing.T) {
+	d := startDaemon(t, "-obs-addr", "127.0.0.1:0")
+	if d.obs == "" {
+		t.Fatal("svfd printed no obs listener address")
+	}
+
+	// /readyz exposes both bound addresses for port discovery.
+	resp, err := http.Get(d.url("/readyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ready map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&ready); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if ready["ready"] != true || ready["listen"] != d.addr || ready["obs"] != d.obs {
+		t.Errorf("/readyz = %v, want ready with listen=%s obs=%s", ready, d.addr, d.obs)
+	}
+
+	code, sub := postSpec(t, d, smallSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d (%v)", code, sub)
+	}
+	id := sub["id"].(string)
+	waitDone(t, d, id)
+	if lines := bytes.Split(bytes.TrimSpace(getResults(t, d, id)), []byte("\n")); len(lines) != 2 {
+		t.Fatalf("results lines = %d, want 2", len(lines))
+	}
+
+	// The obs listener serves the classic endpoints.
+	for _, path := range []string{"/metrics", "/progress"} {
+		resp, err := http.Get("http://" + d.obs + path)
+		if err != nil {
+			t.Fatalf("obs %s: %v", path, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("obs %s = %d", path, resp.StatusCode)
+		}
+	}
+
+	// SIGTERM: graceful drain, exit 0, journals flushed (none here), the
+	// drain narrated on stderr.
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if code := d.wait(); code != 0 {
+		t.Fatalf("exit code after SIGTERM = %d, want 0; stderr:\n%s", code, d.stderr.String())
+	}
+	if !strings.Contains(d.stderr.String(), "drained") {
+		t.Errorf("stderr does not narrate the drain:\n%s", d.stderr.String())
+	}
+}
+
+// TestDaemonKillResume is the CLI kill -9 drill: the daemon-kill
+// injection terminates the daemon (exit 137) right after a job's
+// accepted record is durable; a restart on the same journal — now over a
+// real two-worker fleet — replays the job, finishes it, and serves
+// results byte-identical to an undisturbed daemon's.
+func TestDaemonKillResume(t *testing.T) {
+	dir := t.TempDir()
+
+	killed := startDaemon(t, "-journal", dir, "-inject", "daemon-kill=1")
+	// The process dies inside the accept path; the response may be lost.
+	http.Post(killed.url("/v1/jobs"), "application/json", strings.NewReader(smallSpec()))
+	if code := killed.wait(); code != 137 {
+		t.Fatalf("injected kill: exit code = %d, want 137; stderr:\n%s", code, killed.stderr.String())
+	}
+
+	revived := startDaemon(t, "-journal", dir, "-workers", "2")
+	// The client lost the 202, so discover the replayed job via /v1/progress.
+	resp, err := http.Get(revived.url("/v1/progress"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prog map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	jobs, _ := prog["jobs"].([]any)
+	if len(jobs) != 1 {
+		t.Fatalf("restarted daemon lost the accepted job: progress = %v", prog)
+	}
+	id := jobs[0].(map[string]any)["id"].(string)
+
+	st := waitDone(t, revived, id)
+	if st["partial_failure"] != false {
+		t.Fatalf("replayed job degraded: %v", st)
+	}
+	got := getResults(t, revived, id)
+
+	// Reference: the same spec on an undisturbed journal-less daemon.
+	ref := startDaemon(t)
+	code, sub := postSpec(t, ref, smallSpec())
+	if code != http.StatusAccepted {
+		t.Fatalf("reference submit = %d", code)
+	}
+	if sub["id"] != id {
+		t.Fatalf("content fingerprint diverged: %v vs %s", sub["id"], id)
+	}
+	waitDone(t, ref, id)
+	if want := getResults(t, ref, id); !bytes.Equal(got, want) {
+		t.Errorf("post-kill results differ from the undisturbed run:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// TestOverloadSheds429: with -max-jobs 1 a second concurrent job sheds
+// with 429 + Retry-After while the first is still running.
+func TestOverloadSheds429(t *testing.T) {
+	d := startDaemon(t, "-max-jobs", "1")
+	slow := `{"cells":[{"kind":"run","bench":"186.crafty.ref","opt":{"Policy":1,"SVFInfinite":true,"MaxInsts":30000000}}]}`
+	if code, _ := postSpec(t, d, slow); code != http.StatusAccepted {
+		t.Fatalf("first submit = %d", code)
+	}
+	resp, err := http.Post(d.url("/v1/jobs"), "application/json",
+		strings.NewReader(`{"cells":[{"kind":"run","bench":"164.gzip.log","opt":{"MaxInsts":2000}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second submit = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+}
+
+// TestWorkerModeRefusesJournal: a worker handed the daemon's journal flag
+// is a usage error, not a lock fight.
+func TestWorkerModeRefusesJournal(t *testing.T) {
+	cmd := exec.Command(svfdBin, "-worker", "-journal", t.TempDir())
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("exit = %v, want code 2", err)
+	}
+	if !strings.Contains(stderr.String(), "journal") {
+		t.Errorf("stderr does not explain the refusal:\n%s", stderr.String())
+	}
+}

@@ -71,6 +71,22 @@ type Plan struct {
 	// coordinator's lease watchdog must expire and reclaim it. Spec key:
 	// worker-stall.
 	WorkerStall uint64
+	// AcceptStall, when non-zero, makes the service daemon's admission
+	// path stall for a deterministic interval while handling the Nth
+	// accepted job (1-based) — the stand-in for a slow fsync or a
+	// wedged downstream during accept, used to prove overload turns
+	// into 429s rather than queue growth. Spec key: accept-stall.
+	AcceptStall uint64
+	// ClientDisconnect, when non-zero, severs the Nth results stream
+	// (1-based) after its first record — the stand-in for a client
+	// that vanishes mid-download. The daemon must drop the connection
+	// without disturbing the job. Spec key: client-disconnect.
+	ClientDisconnect uint64
+	// DaemonKill, when non-zero, makes the service daemon exit with
+	// code 137 immediately after journaling the Nth accepted job — the
+	// deterministic in-process variant of the chaos drill's real
+	// `kill -9`. Spec key: daemon-kill.
+	DaemonKill uint64
 }
 
 // Active reports whether the plan injects simulation-level faults. The
@@ -127,6 +143,35 @@ func (p *Plan) WorkerStallAt(seq uint64) bool {
 	return p != nil && p.WorkerStall != 0 && p.WorkerStall == seq
 }
 
+// ServiceActive reports whether the plan injects service-daemon faults.
+// Like the journal- and shard-level plans, these are excluded from
+// Active(): they target svfd's admission and streaming paths, not the
+// machine model, so chaos cells still flow through the cache and journal.
+func (p *Plan) ServiceActive() bool {
+	if p == nil {
+		return false
+	}
+	return p.AcceptStall != 0 || p.ClientDisconnect != 0 || p.DaemonKill != 0
+}
+
+// AcceptStallAt reports whether the admission path should stall while
+// handling the seq'th accepted job (1-based).
+func (p *Plan) AcceptStallAt(seq uint64) bool {
+	return p != nil && p.AcceptStall != 0 && p.AcceptStall == seq
+}
+
+// ClientDisconnectAt reports whether the seq'th results stream (1-based)
+// should be severed after its first record.
+func (p *Plan) ClientDisconnectAt(seq uint64) bool {
+	return p != nil && p.ClientDisconnect != 0 && p.ClientDisconnect == seq
+}
+
+// DaemonKillAt reports whether the daemon should die right after
+// journaling the seq'th accepted job (1-based).
+func (p *Plan) DaemonKillAt(seq uint64) bool {
+	return p != nil && p.DaemonKill != 0 && p.DaemonKill == seq
+}
+
 // Matches reports whether the plan applies to the named workload.
 func (p *Plan) Matches(bench string) bool {
 	if p == nil {
@@ -157,6 +202,9 @@ func (p *Plan) String() string {
 	add("journal-torn-tail", p.JournalTornTail)
 	add("worker-kill", p.WorkerKill)
 	add("worker-stall", p.WorkerStall)
+	add("accept-stall", p.AcceptStall)
+	add("client-disconnect", p.ClientDisconnect)
+	add("daemon-kill", p.DaemonKill)
 	if p.Seed != 0 {
 		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
 	}
@@ -169,7 +217,8 @@ func (p *Plan) String() string {
 // (cycle), eof (instructions), corrupt (record period), kill-mid-write
 // (journal append ordinal), journal-torn-tail (journal append ordinal),
 // worker-kill (shard assignment ordinal), worker-stall (shard assignment
-// ordinal), seed.
+// ordinal), accept-stall (accepted-job ordinal), client-disconnect
+// (results-stream ordinal), daemon-kill (accepted-job ordinal), seed.
 func Parse(spec string) (*Plan, error) {
 	p := &Plan{}
 	if strings.TrimSpace(spec) == "" {
@@ -205,10 +254,16 @@ func Parse(spec string) (*Plan, error) {
 			p.WorkerKill = n
 		case "worker-stall":
 			p.WorkerStall = n
+		case "accept-stall":
+			p.AcceptStall = n
+		case "client-disconnect":
+			p.ClientDisconnect = n
+		case "daemon-kill":
+			p.DaemonKill = n
 		case "seed":
 			p.Seed = int64(n)
 		default:
-			return nil, fmt.Errorf("faultinject: unknown key %q (want bench, panic, stall, eof, corrupt, kill-mid-write, journal-torn-tail, worker-kill, worker-stall, seed)", k)
+			return nil, fmt.Errorf("faultinject: unknown key %q (want bench, panic, stall, eof, corrupt, kill-mid-write, journal-torn-tail, worker-kill, worker-stall, accept-stall, client-disconnect, daemon-kill, seed)", k)
 		}
 	}
 	return p, nil

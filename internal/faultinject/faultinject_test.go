@@ -229,3 +229,47 @@ func TestShardFaultsAreFleetOnly(t *testing.T) {
 		t.Error("WorkerStallAt must fire exactly on assignment 2, and only for stall")
 	}
 }
+
+func TestParseServiceFaults(t *testing.T) {
+	p, err := Parse("accept-stall=2,client-disconnect=1,daemon-kill=3,seed=11")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Plan{Seed: 11, AcceptStall: 2, ClientDisconnect: 1, DaemonKill: 3}
+	if !reflect.DeepEqual(p, want) {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	again, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("re-parsing %q: %v", p.String(), err)
+	}
+	if !reflect.DeepEqual(again, p) {
+		t.Errorf("String round trip changed the plan: %+v vs %+v", again, p)
+	}
+}
+
+// Service faults target svfd's admission and streaming paths: they must
+// not activate sim, journal, or shard injection, and each At predicate
+// fires on exactly the configured ordinal.
+func TestServiceFaultsAreDaemonOnly(t *testing.T) {
+	var nilPlan *Plan
+	if nilPlan.ServiceActive() || nilPlan.AcceptStallAt(1) || nilPlan.ClientDisconnectAt(1) || nilPlan.DaemonKillAt(1) {
+		t.Error("nil plan must be service-inert")
+	}
+	p := &Plan{AcceptStall: 4, ClientDisconnect: 2, DaemonKill: 7}
+	if p.Active() || p.JournalActive() || p.ShardActive() {
+		t.Error("service plans must not activate sim, journal, or shard injection")
+	}
+	if !p.ServiceActive() {
+		t.Error("ServiceActive must see the service faults")
+	}
+	if !p.AcceptStallAt(4) || p.AcceptStallAt(3) || p.AcceptStallAt(5) {
+		t.Error("AcceptStallAt must fire exactly on accepted job 4")
+	}
+	if !p.ClientDisconnectAt(2) || p.ClientDisconnectAt(1) {
+		t.Error("ClientDisconnectAt must fire exactly on stream 2")
+	}
+	if !p.DaemonKillAt(7) || p.DaemonKillAt(6) {
+		t.Error("DaemonKillAt must fire exactly on accepted job 7")
+	}
+}

@@ -15,6 +15,7 @@
 package shard
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -177,6 +178,50 @@ func (i *FaultInfo) Err() error {
 // territory, not a real limit.
 const maxFrameBytes = 64 << 20
 
+// Typed decode errors. Every failure mode of the length-prefixed codec maps
+// onto exactly one of these (wrapped with context), so callers — and the
+// fuzz targets — can classify without string matching.
+var (
+	// ErrFrameTooLarge: the length prefix claims more than maxFrameBytes.
+	ErrFrameTooLarge = errors.New("shard: frame exceeds size limit")
+	// ErrFrameTruncated: the stream ended inside a header or body.
+	ErrFrameTruncated = errors.New("shard: truncated frame")
+	// ErrFrameDecode: the body was delivered whole but is not valid JSON
+	// for the expected message type.
+	ErrFrameDecode = errors.New("shard: malformed frame")
+)
+
+// readBlock reads one length-prefixed block. io.EOF at a block boundary is
+// returned verbatim (a clean close). The claimed length is
+// corruption-controlled, so the body buffer grows only as bytes actually
+// arrive (io.CopyN copies in small chunks) rather than trusting the prefix
+// with a single up-front allocation — a truncated stream claiming 64 MiB
+// costs a few KB, not 64 MiB.
+func readBlock(r io.Reader, what string) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("shard: read %s header: %w: %w", what, ErrFrameTruncated, err)
+	}
+	n := int64(binary.LittleEndian.Uint32(hdr[:]))
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("shard: %s length %d exceeds %d-byte limit (corrupt stream?): %w", what, n, int64(maxFrameBytes), ErrFrameTooLarge)
+	}
+	var buf bytes.Buffer
+	buf.Grow(int(min(n, 64<<10)))
+	if _, err := io.CopyN(&buf, r, n); err != nil {
+		if err == io.EOF {
+			// EOF inside a body is not a clean close; keep errors.Is(err,
+			// io.EOF) reserved for frame boundaries.
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, fmt.Errorf("shard: read %d-byte %s body: %w: %w", n, what, ErrFrameTruncated, err)
+	}
+	return buf.Bytes(), nil
+}
+
 // writeFrame marshals f and writes it length-prefixed. Callers serialise
 // concurrent writers (the worker's heartbeat goroutine vs its result
 // path) with their own mutex; writeFrame issues a single Write so a
@@ -197,26 +242,15 @@ func writeFrame(w io.Writer, f *Frame) error {
 }
 
 // readFrame reads one length-prefixed frame. io.EOF at a frame boundary is
-// returned verbatim (a clean close); EOF mid-frame is an unexpected error.
+// returned verbatim (a clean close); EOF mid-frame is ErrFrameTruncated.
 func readFrame(r io.Reader) (*Frame, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return nil, io.EOF
-		}
-		return nil, fmt.Errorf("shard: read frame header: %w", err)
-	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > maxFrameBytes {
-		return nil, fmt.Errorf("shard: frame length %d exceeds limit (corrupt stream?)", n)
-	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
-		return nil, fmt.Errorf("shard: read %d-byte frame body: %w", n, err)
+	data, err := readBlock(r, "frame")
+	if err != nil {
+		return nil, err
 	}
 	f := &Frame{}
 	if err := json.Unmarshal(data, f); err != nil {
-		return nil, fmt.Errorf("shard: decode frame: %w", err)
+		return nil, fmt.Errorf("shard: decode frame: %w: %v", ErrFrameDecode, err)
 	}
 	return f, nil
 }

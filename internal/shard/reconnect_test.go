@@ -1,0 +1,192 @@
+package shard
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"svf/internal/journal"
+	"svf/internal/sim"
+	"svf/internal/telemetry"
+)
+
+// pipeDialer hands out net.Pipe client ends and serves the server ends
+// against a shared MemStore, so a test can sever the live connection and
+// watch the store redial onto a fresh one.
+type pipeDialer struct {
+	mu      sync.Mutex
+	store   sim.ResultStore
+	dials   int
+	failNow int // fail this many dials before succeeding again
+	current net.Conn
+}
+
+func (d *pipeDialer) dial() (io.ReadWriteCloser, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.dials++
+	if d.failNow > 0 {
+		d.failNow--
+		return nil, errors.New("dial refused")
+	}
+	client, server := net.Pipe()
+	d.current = server
+	go ServeResultStore(d.store, server)
+	return client, nil
+}
+
+func (d *pipeDialer) dropServer() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.current != nil {
+		d.current.Close()
+	}
+}
+
+// TestRemoteStoreReconnects: severing the connection mid-campaign must
+// cost a redial, not the store — subsequent operations land on the fresh
+// connection against the same backing state, and the reconnect counter
+// records the outage.
+func TestRemoteStoreReconnects(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	d := &pipeDialer{store: sim.NewMemStore()}
+	rs, err := NewReconnectingRemoteStore(ReconnectConfig{
+		Dial:          d.dial,
+		MaxReconnects: 4,
+		BackoffBase:   time.Millisecond,
+		BackoffCap:    4 * time.Millisecond,
+		Seed:          7,
+		Registry:      reg,
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rs.Fault("cell", "bench", 1, false, errors.New("transient"))
+	if got := rs.PriorAttempts("cell"); got != 1 {
+		t.Fatalf("PriorAttempts before drop = %d, want 1", got)
+	}
+
+	d.dropServer()
+
+	// The next exchange hits the dead pipe, redials, and must see the
+	// same backing state (the fault above) on the new connection.
+	if got := rs.PriorAttempts("cell"); got != 1 {
+		t.Errorf("PriorAttempts after reconnect = %d, want 1", got)
+	}
+	if rs.Err() != nil {
+		t.Errorf("Err() = %v after a successful reconnect, want nil", rs.Err())
+	}
+	if rs.Reconnects() != 1 {
+		t.Errorf("Reconnects() = %d, want 1", rs.Reconnects())
+	}
+	if got := reg.Counter("svf_shard_store_reconnects").Load(); got != 1 {
+		t.Errorf("svf_shard_store_reconnects = %d, want 1", got)
+	}
+
+	// A second outage still fits the budget of 4.
+	d.dropServer()
+	rs.Fault("cell", "bench", 2, false, errors.New("again"))
+	if got := rs.PriorAttempts("cell"); got != 2 {
+		t.Errorf("PriorAttempts after second reconnect = %d, want 2", got)
+	}
+	if rs.Err() != nil {
+		t.Errorf("Err() = %v, want healthy store", rs.Err())
+	}
+}
+
+// TestRemoteStoreReconnectBudgetExhausts: when every redial fails, the
+// store must degrade permanently after exactly MaxReconnects dial
+// attempts — lookups miss, gates admit, Err reports the cause — and must
+// not dial again afterwards.
+func TestRemoteStoreReconnectBudgetExhausts(t *testing.T) {
+	var slept []time.Duration
+	d := &pipeDialer{store: sim.NewMemStore()}
+	rs, err := NewReconnectingRemoteStore(ReconnectConfig{
+		Dial:          d.dial,
+		MaxReconnects: 3,
+		BackoffBase:   time.Millisecond,
+		BackoffCap:    8 * time.Millisecond,
+		Seed:          1,
+		Sleep:         func(dur time.Duration) { slept = append(slept, dur) },
+		Logf:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dialsAfterConnect := d.dials
+
+	d.dropServer()
+	d.mu.Lock()
+	d.failNow = 1 << 30 // every future dial refused
+	d.mu.Unlock()
+
+	if _, ok := rs.Lookup("k"); ok {
+		t.Error("Lookup over a dead store = hit")
+	}
+	if err := rs.Gate("k", 1); err != nil {
+		t.Errorf("Gate over a dead store = %v, want nil (admit)", err)
+	}
+	if rs.Err() == nil {
+		t.Fatal("Err() = nil after exhausting the reconnect budget")
+	}
+	if got := d.dials - dialsAfterConnect; got != 3 {
+		t.Errorf("dial attempts = %d, want 3 (the budget)", got)
+	}
+	if len(slept) != 3 {
+		t.Errorf("backoff sleeps = %d, want 3", len(slept))
+	}
+	// Backoff must grow from base toward cap with jitter in [1,2).
+	for i, dur := range slept {
+		lo := time.Millisecond << uint(i)
+		if lo > 8*time.Millisecond {
+			lo = 8 * time.Millisecond
+		}
+		if dur < lo || dur >= 2*lo+time.Millisecond {
+			t.Errorf("sleep[%d] = %s, want in [%s, 2×%s)", i, dur, lo, lo)
+		}
+	}
+
+	// Degraded means degraded: no further dials on later operations.
+	rs.Put(journal.Record{Kind: "run", Key: "k2"})
+	if got := d.dials - dialsAfterConnect; got != 3 {
+		t.Errorf("dials after degradation = %d, want still 3", got)
+	}
+}
+
+// TestRemoteStoreReconnectKeepsCacheWorking: end to end, a run cache
+// backed by a reconnecting store survives a connection drop — the run
+// completes and its result lands in the shared backing store.
+func TestRemoteStoreReconnectKeepsCacheWorking(t *testing.T) {
+	mem := sim.NewMemStore()
+	d := &pipeDialer{store: mem}
+	rs, err := NewReconnectingRemoteStore(ReconnectConfig{
+		Dial:        d.dial,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  4 * time.Millisecond,
+		Logf:        t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.dropServer() // cache's very first store access must redial
+
+	prof := testProfile(t)
+	opt := testOptions()
+	cache := sim.NewRunCacheWithStore(rs)
+	if _, err := cache.Run(t.Context(), prof, opt); err != nil {
+		t.Fatal(err)
+	}
+	if rs.Err() != nil {
+		t.Fatalf("store degraded: %v", rs.Err())
+	}
+	// The completed cell must be visible to a direct MemStore reader.
+	key := sim.RunCellKey(prof, opt)
+	if _, ok := mem.Lookup(key); !ok {
+		t.Errorf("completed cell %q missing from the shared backing store", key)
+	}
+}

@@ -6,10 +6,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"sync"
+	"time"
 
 	"svf/internal/journal"
 	"svf/internal/sim"
+	"svf/internal/telemetry"
 )
 
 // This file is the coordinator-remote ResultStore: the same Lookup / Put /
@@ -76,16 +79,96 @@ func (e *remoteFault) PermanentFault() bool { return e.poison }
 // shard store protocol (ServeResultStore is the other end). Transport
 // failures degrade rather than poison the campaign: a broken store means
 // lookups miss, puts and faults are dropped, and gates admit — the client
-// cache keeps working from memory, it just stops sharing. The first
-// transport error is retained (Err) and the connection is not retried.
+// cache keeps working from memory, it just stops sharing.
+//
+// A store built with NewRemoteStore owns a single connection and degrades
+// permanently on the first transport error. A store built with
+// NewReconnectingRemoteStore redials with seeded-jitter backoff under a
+// bounded budget first, re-issuing the interrupted request on the fresh
+// connection; only an exhausted budget degrades it. Re-issue is safe
+// because every store operation is idempotent — Lookup/Gate/Prior/Restored
+// read, Put supersedes by key, and Fault carries an absolute attempt count
+// rather than an increment. Once degraded, the first transport error is
+// retained (Err) and the connection is never retried again.
 type RemoteStore struct {
 	mu   sync.Mutex
 	rw   io.ReadWriter
 	dead error
+
+	// Reconnect state (nil dial ⇒ single-connection behavior).
+	dial       func() (io.ReadWriteCloser, error)
+	maxRedials int
+	base, cap  time.Duration
+	rng        *rand.Rand
+	sleep      func(time.Duration)
+	redials    int
+	reconnects *telemetry.Counter
+	logf       func(string, ...any)
 }
 
 // NewRemoteStore wraps an established connection.
 func NewRemoteStore(rw io.ReadWriter) *RemoteStore { return &RemoteStore{rw: rw} }
+
+// ReconnectConfig configures a redialing RemoteStore.
+type ReconnectConfig struct {
+	// Dial opens a fresh connection to the store server. Required.
+	Dial func() (io.ReadWriteCloser, error)
+	// MaxReconnects bounds redials over the store's lifetime (not per
+	// outage); default 8. Exhausting it degrades the store permanently.
+	MaxReconnects int
+	// BackoffBase and BackoffCap shape the capped exponential backoff
+	// before each redial; defaults 25ms and 1s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed drives the backoff jitter so tests replay identical schedules.
+	Seed int64
+	// Registry, when non-nil, receives the svf_shard_store_reconnects
+	// counter.
+	Registry *telemetry.Registry
+	// Logf, when non-nil, narrates drops and redials.
+	Logf func(format string, args ...any)
+	// Sleep replaces time.Sleep in tests.
+	Sleep func(time.Duration)
+}
+
+// NewReconnectingRemoteStore dials the first connection and returns a
+// store that survives transport drops within cfg's reconnect budget.
+func NewReconnectingRemoteStore(cfg ReconnectConfig) (*RemoteStore, error) {
+	if cfg.Dial == nil {
+		return nil, errors.New("shard: ReconnectConfig.Dial is required")
+	}
+	if cfg.MaxReconnects <= 0 {
+		cfg.MaxReconnects = 8
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = time.Second
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	s := &RemoteStore{
+		dial:       cfg.Dial,
+		maxRedials: cfg.MaxReconnects,
+		base:       cfg.BackoffBase,
+		cap:        cfg.BackoffCap,
+		rng:        rand.New(rand.NewSource(cfg.Seed)),
+		sleep:      cfg.Sleep,
+		logf:       cfg.Logf,
+	}
+	if cfg.Registry != nil {
+		cfg.Registry.Help("svf_shard_store_reconnects", "remote result-store redials after transport loss")
+		s.reconnects = cfg.Registry.Counter("svf_shard_store_reconnects")
+	}
+	conn, err := cfg.Dial()
+	if err != nil {
+		return nil, fmt.Errorf("shard: remote store dial: %w", err)
+	}
+	s.rw = conn
+	return s, nil
+}
 
 // Err returns the first transport error, nil while the store is healthy.
 func (s *RemoteStore) Err() error {
@@ -94,23 +177,85 @@ func (s *RemoteStore) Err() error {
 	return s.dead
 }
 
-// roundTrip performs one serial request/response exchange.
+// Reconnects reports how many redials the store has performed.
+func (s *RemoteStore) Reconnects() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.redials
+}
+
+// roundTrip performs one serial request/response exchange, redialing
+// within the reconnect budget on transport failure.
 func (s *RemoteStore) roundTrip(req *storeReq) (*storeResp, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.dead != nil {
 		return nil, false
 	}
+	for {
+		resp, err := s.exchangeLocked(req)
+		if err == nil {
+			return resp, true
+		}
+		if !s.redialLocked(req.Op, err) {
+			return nil, false
+		}
+	}
+}
+
+// exchangeLocked sends one request and reads its response.
+func (s *RemoteStore) exchangeLocked(req *storeReq) (*storeResp, error) {
 	if err := writeStoreMsg(s.rw, req); err != nil {
-		s.dead = fmt.Errorf("shard: remote store send %s: %w", req.Op, err)
-		return nil, false
+		return nil, fmt.Errorf("send %s: %w", req.Op, err)
 	}
 	resp := &storeResp{}
 	if err := readStoreMsg(s.rw, resp); err != nil {
-		s.dead = fmt.Errorf("shard: remote store recv %s: %w", req.Op, err)
-		return nil, false
+		return nil, fmt.Errorf("recv %s: %w", req.Op, err)
 	}
-	return resp, true
+	return resp, nil
+}
+
+// redialLocked replaces the dropped connection, burning one unit of the
+// reconnect budget per dial attempt (failed dials count — the budget
+// bounds work, not successes). It reports whether the caller should retry
+// the exchange; false means the store has degraded permanently.
+func (s *RemoteStore) redialLocked(op string, cause error) bool {
+	if c, ok := s.rw.(io.Closer); ok {
+		c.Close()
+	}
+	for s.dial != nil && s.redials < s.maxRedials {
+		s.redials++
+		if s.reconnects != nil {
+			s.reconnects.Inc()
+		}
+		// Capped exponential backoff with seeded jitter in [1,2): the
+		// same shape the run cache uses for retry pacing, so a fleet of
+		// clients doesn't stampede a recovering store.
+		d := s.base << uint(min(s.redials-1, 20))
+		if d > s.cap || d <= 0 {
+			d = s.cap
+		}
+		d = time.Duration(float64(d) * (1 + s.rng.Float64()))
+		if s.logf != nil {
+			s.logf("shard: remote store %s failed (%v); redial %d/%d in %s", op, cause, s.redials, s.maxRedials, d)
+		}
+		s.sleep(d)
+		conn, err := s.dial()
+		if err != nil {
+			cause = fmt.Errorf("redial: %w", err)
+			continue
+		}
+		s.rw = conn
+		if s.logf != nil {
+			s.logf("shard: remote store reconnected (redial %d/%d)", s.redials, s.maxRedials)
+		}
+		return true
+	}
+	s.dead = fmt.Errorf("shard: remote store %s: %w", op, cause)
+	if s.logf != nil {
+		s.logf("shard: remote store degraded permanently after %d redial(s): %v", s.redials, s.dead)
+	}
+	return false
 }
 
 // Lookup implements sim.ResultStore.
@@ -229,20 +374,12 @@ func writeStoreMsg(w io.Writer, v any) error {
 }
 
 func readStoreMsg(r io.Reader, v any) error {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return io.EOF
-		}
-		return fmt.Errorf("shard: read store message header: %w", err)
-	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > maxFrameBytes {
-		return fmt.Errorf("shard: store message length %d exceeds limit", n)
-	}
-	data := make([]byte, n)
-	if _, err := io.ReadFull(r, data); err != nil {
+	data, err := readBlock(r, "store message")
+	if err != nil {
 		return err
 	}
-	return json.Unmarshal(data, v)
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("shard: decode store message: %w: %v", ErrFrameDecode, err)
+	}
+	return nil
 }

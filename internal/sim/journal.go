@@ -11,6 +11,7 @@ import (
 
 	"svf/internal/journal"
 	"svf/internal/pipeline"
+	"svf/internal/synth"
 	"svf/internal/telemetry"
 )
 
@@ -67,6 +68,19 @@ func runJournalKey(k runKey) string {
 // trafficJournalKey renders a traffic cell's stable journal identity.
 func trafficJournalKey(k trafficKey) string {
 	return fmt.Sprintf("traffic|%s|%d|%d|%d|%d", k.prof, k.policy, k.sizeBytes, k.maxInsts, k.ctxPeriod)
+}
+
+// RunCellKey is the public form of a run cell's stable identity: the exact
+// string the cache journals the cell under. Callers above the cache (the
+// service daemon's job fingerprints, external dedup) share cell identity
+// with the journal by using this instead of inventing a parallel scheme.
+func RunCellKey(prof *synth.Profile, opt Options) string {
+	return runJournalKey(runKey{prof.Fingerprint(), Canonical(opt)})
+}
+
+// TrafficCellKey is the public form of a traffic cell's stable identity.
+func TrafficCellKey(prof *synth.Profile, policy pipeline.StackPolicy, sizeBytes, maxInsts int, ctxPeriod uint64) string {
+	return trafficJournalKey(trafficKey{prof.Fingerprint(), policy, sizeBytes, maxInsts, ctxPeriod})
 }
 
 // LatchedError reports a cell whose retry budget was exhausted in this or a

@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// requestSecondsBounds covers the service daemon's latency range: cache
+// hits land in the sub-millisecond buckets, fresh simulations in the
+// seconds ones.
+var requestSecondsBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}
+
+// InstrumentHTTP wraps h with per-route request accounting in reg: a
+// svf_service_requests_total counter labeled by route and status class,
+// and a svf_service_request_seconds latency histogram labeled by route.
+// A nil registry returns h unchanged. The wrapper forwards http.Flusher
+// so streaming handlers keep flushing, and records the sample in a defer
+// so handler panics (including http.ErrAbortHandler disconnect aborts)
+// are still counted before they unwind.
+func InstrumentHTTP(reg *Registry, route string, h http.Handler) http.Handler {
+	if reg == nil {
+		return h
+	}
+	reg.Help("svf_service_requests_total", "HTTP requests served, by route and status class")
+	reg.Help("svf_service_request_seconds", "HTTP request latency in seconds, by route")
+	hist := reg.Histogram(fmt.Sprintf("svf_service_request_seconds{route=%q}", route), requestSecondsBounds...)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			hist.Observe(time.Since(start).Seconds())
+			code := sw.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			reg.Counter(fmt.Sprintf("svf_service_requests_total{route=%q,code=\"%dxx\"}", route, code/100)).Inc()
+		}()
+		h.ServeHTTP(sw, r)
+	})
+}
+
+// statusWriter captures the response status for the request counter.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so NDJSON result streams are
+// delivered line by line through the instrumentation.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}

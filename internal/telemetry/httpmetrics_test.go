@@ -1,0 +1,94 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSplitLabels(t *testing.T) {
+	cases := []struct{ name, base, labels string }{
+		{"svf_sim_runs_total", "svf_sim_runs_total", ""},
+		{`svf_service_requests_total{route="/v1/jobs",code="2xx"}`, "svf_service_requests_total", `route="/v1/jobs",code="2xx"`},
+		{"weird{unterminated", "weird{unterminated", ""},
+	}
+	for _, c := range cases {
+		base, labels := splitLabels(c.name)
+		if base != c.base || labels != c.labels {
+			t.Errorf("splitLabels(%q) = (%q, %q), want (%q, %q)", c.name, base, labels, c.base, c.labels)
+		}
+	}
+}
+
+// TestWritePrometheusLabeledFamilies: several labeled series of one family
+// must render under a single TYPE/HELP header, and a labeled histogram
+// must merge its labels into each bucket's label set.
+func TestWritePrometheusLabeledFamilies(t *testing.T) {
+	r := NewRegistry()
+	r.Help("svf_service_requests_total", "requests by route")
+	r.Counter(`svf_service_requests_total{route="/a",code="2xx"}`).Add(3)
+	r.Counter(`svf_service_requests_total{route="/b",code="4xx"}`).Add(1)
+	r.Histogram(`svf_service_request_seconds{route="/a"}`, 0.01, 1).Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if got := strings.Count(out, "# TYPE svf_service_requests_total counter"); got != 1 {
+		t.Errorf("counter family headers = %d, want 1\n%s", got, out)
+	}
+	for _, want := range []string{
+		`# HELP svf_service_requests_total requests by route`,
+		`svf_service_requests_total{route="/a",code="2xx"} 3`,
+		`svf_service_requests_total{route="/b",code="4xx"} 1`,
+		`# TYPE svf_service_request_seconds histogram`,
+		`svf_service_request_seconds_bucket{route="/a",le="0.01"} 0`,
+		`svf_service_request_seconds_bucket{route="/a",le="1"} 1`,
+		`svf_service_request_seconds_bucket{route="/a",le="+Inf"} 1`,
+		`svf_service_request_seconds_sum{route="/a"} 0.5`,
+		`svf_service_request_seconds_count{route="/a"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("rendering missing %q\n%s", want, out)
+		}
+	}
+}
+
+// TestInstrumentHTTP: the wrapper must count by status class, observe
+// latency, forward Flush, and leave the handler's output untouched.
+func TestInstrumentHTTP(t *testing.T) {
+	reg := NewRegistry()
+	flushed := false
+	h := InstrumentHTTP(reg, "/v1/jobs", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "too many", http.StatusTooManyRequests)
+		if f, ok := w.(http.Flusher); ok {
+			f.Flush()
+			flushed = true
+		}
+	}))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("POST", "/v1/jobs", nil))
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if !flushed {
+		t.Error("Flusher not forwarded through the instrumentation")
+	}
+	if got := reg.Counter(`svf_service_requests_total{route="/v1/jobs",code="4xx"}`).Load(); got != 1 {
+		t.Errorf("4xx counter = %d, want 1", got)
+	}
+	if got := reg.Histogram(`svf_service_request_seconds{route="/v1/jobs"}`, requestSecondsBounds...).Count(); got != 1 {
+		t.Errorf("latency observations = %d, want 1", got)
+	}
+
+	okHandler := InstrumentHTTP(reg, "/healthz", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	}))
+	rec = httptest.NewRecorder()
+	okHandler.ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if got := reg.Counter(`svf_service_requests_total{route="/healthz",code="2xx"}`).Load(); got != 1 {
+		t.Errorf("implicit-200 counter = %d, want 1", got)
+	}
+}

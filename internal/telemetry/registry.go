@@ -17,6 +17,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -171,6 +172,19 @@ func (r *Registry) Help(name, text string) {
 	r.mu.Unlock()
 }
 
+// splitLabels splits a registered metric name into its base name and an
+// optional inline label set: "svf_service_requests_total{route=\"/x\"}"
+// → ("svf_service_requests_total", `route="/x"`). Labeled names let the
+// registry stay a flat map while still rendering dimensioned families —
+// HELP/TYPE headers attach to the base name, samples carry the labels.
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format, sorted by name for stable output.
 func (r *Registry) WritePrometheus(w io.Writer) error {
@@ -196,17 +210,26 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	r.mu.Unlock()
 
-	emitHeader := func(name, typ string) error {
-		if h, ok := help[name]; ok {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, h); err != nil {
+	// Headers attach to base names and must appear once per family even
+	// when several labeled series share it; sorted order keeps a family's
+	// series adjacent, headered keeps the dedup exact regardless.
+	headered := map[string]bool{}
+	emitHeader := func(base, typ string) error {
+		if headered[base] {
+			return nil
+		}
+		headered[base] = true
+		if h, ok := help[base]; ok {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, h); err != nil {
 				return err
 			}
 		}
-		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
 		return err
 	}
 	for _, name := range sortedKeys(counters) {
-		if err := emitHeader(name, "counter"); err != nil {
+		base, _ := splitLabels(name)
+		if err := emitHeader(base, "counter"); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", name, counters[name].Load()); err != nil {
@@ -214,7 +237,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	for _, name := range sortedKeys(gauges) {
-		if err := emitHeader(name, "gauge"); err != nil {
+		base, _ := splitLabels(name)
+		if err := emitHeader(base, "gauge"); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %v\n", name, gauges[name].Load()); err != nil {
@@ -222,22 +246,33 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 	}
 	for _, name := range sortedKeys(hists) {
-		if err := emitHeader(name, "histogram"); err != nil {
+		base, labels := splitLabels(name)
+		if err := emitHeader(base, "histogram"); err != nil {
 			return err
+		}
+		// A labeled histogram merges its labels into each sample's label
+		// set: base_bucket{route="/x",le="0.01"}.
+		pre := ""
+		if labels != "" {
+			pre = labels + ","
 		}
 		h := hists[name]
 		var cum uint64
 		for i, bound := range h.bounds {
 			cum += h.buckets[i].Load()
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%v\"} %d\n", name, bound, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%v\"} %d\n", base, pre, bound, cum); err != nil {
 				return err
 			}
 		}
 		cum += h.buckets[len(h.bounds)].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, pre, cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %v\n%s_count %d\n", name, h.Sum(), name, h.Count()); err != nil {
+		suffix := ""
+		if labels != "" {
+			suffix = "{" + labels + "}"
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %v\n%s_count%s %d\n", base, suffix, h.Sum(), base, suffix, h.Count()); err != nil {
 			return err
 		}
 	}
