@@ -5,9 +5,10 @@
 // Clients POST job specs to /v1/jobs and get back a content-fingerprint
 // job ID; GET /v1/jobs/{id} reports per-cell state (including the
 // partial-failure report), GET /v1/jobs/{id}/results streams NDJSON
-// results as cells finish, GET /v1/progress mirrors the campaign
-// progress snapshot, and /healthz, /readyz, /metrics serve the usual
-// operational endpoints. Admission is bounded: at most -max-jobs
+// results as cells finish, GET /v1/jobs/{id}/trace serves the job's
+// span tree as Perfetto-loadable trace JSON, GET /v1/progress mirrors
+// the campaign progress snapshot, and /healthz, /readyz, /metrics serve
+// the usual operational endpoints. Admission is bounded: at most -max-jobs
 // outstanding jobs and -max-queue-bytes of queued spec bytes; beyond
 // either, submissions shed with 429 + Retry-After instead of growing
 // without bound. Identical submissions coalesce onto one job.
@@ -106,9 +107,12 @@ func run() int {
 	}
 
 	// Unlike svfexp, telemetry is always on: /metrics and /v1/progress are
-	// part of the service API, not an opt-in diagnostic.
+	// part of the service API, not an opt-in diagnostic. The tracer serves
+	// GET /v1/jobs/{id}/trace and is shared by the service, the shard pool
+	// and the run cache so their spans land in one tree per job.
 	registry := telemetry.NewRegistry()
 	progress := telemetry.NewProgress()
+	tracer := telemetry.NewTracer()
 	var events *telemetry.EventLog
 	if *eventsPath != "" {
 		f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -118,6 +122,7 @@ func run() int {
 		}
 		events = telemetry.NewEventLog(f)
 		defer events.Close()
+		tracer.SetEvents(events)
 	}
 
 	// Storage. With -journal, two journals under one root: completed cells
@@ -174,6 +179,7 @@ func run() int {
 			Logf:      func(format string, args ...any) { logf("svfd: "+format, args...) },
 			Registry:  registry,
 			Events:    events,
+			Tracer:    tracer,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "svfd: -workers: %v\n", err)
@@ -187,7 +193,7 @@ func run() int {
 		}
 	}
 	cache.SetRetries(*retries)
-	cache.SetObserver(&sim.Observer{Events: events, Registry: registry, Progress: progress})
+	cache.SetObserver(&sim.Observer{Events: events, Registry: registry, Progress: progress, Tracer: tracer})
 
 	srv, err := service.New(service.Config{
 		Cache:               cache,
@@ -203,6 +209,7 @@ func run() int {
 		Registry:            registry,
 		Progress:            progress,
 		Events:              events,
+		Tracer:              tracer,
 		Logf:                logf,
 	})
 	if err != nil {

@@ -329,3 +329,131 @@ func TestWorkerModeRefusesJournal(t *testing.T) {
 		t.Errorf("stderr does not explain the refusal:\n%s", stderr.String())
 	}
 }
+
+// getTrace fetches a job's Perfetto trace document from the daemon.
+func getTrace(t *testing.T, d *daemon, id string) []byte {
+	t.Helper()
+	resp, err := http.Get(d.url("/v1/jobs/" + id + "/trace"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace fetch = %d", resp.StatusCode)
+	}
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// TestTraceKillResume is the acceptance drill for distributed tracing: a
+// daemon completes one job (its cells now durable in the cells journal),
+// accepts a second overlapping job, and is kill -9'd mid-accept. The
+// restarted daemon replays the second job, serves its previously-journaled
+// cell as a journal.replay span, and GET /v1/jobs/{id}/trace returns a
+// complete, fully-parented span tree, byte-identical across refetches.
+func TestTraceKillResume(t *testing.T) {
+	dir := t.TempDir()
+	runCell := `{"kind":"run","bench":"186.crafty.ref","opt":{"Policy":1,"SVFInfinite":true,"MaxInsts":2000}}`
+	specA := `{"cells":[` + runCell + `,{"kind":"traffic","bench":"186.crafty.ref","policy":"svf","max_insts":2000}]}`
+	specB := `{"cells":[` + runCell + `]}`
+
+	// Phase 1: job A completes (cells journaled); the kill fires inside
+	// job B's accept, after its accepted record is durable.
+	d1 := startDaemon(t, "-journal", dir, "-inject", "daemon-kill=2")
+	code, subA := postSpec(t, d1, specA)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit A = %d", code)
+	}
+	if subA["trace_id"] == "" || subA["trace_url"] == "" {
+		t.Fatalf("submit response missing trace fields: %v", subA)
+	}
+	idA := subA["id"].(string)
+	waitDone(t, d1, idA)
+	http.Post(d1.url("/v1/jobs"), "application/json", strings.NewReader(specB))
+	if code := d1.wait(); code != 137 {
+		t.Fatalf("injected kill: exit = %d, want 137; stderr:\n%s", code, d1.stderr.String())
+	}
+
+	// Phase 2: restart over the same journal with a worker fleet. Job B
+	// replays, its crafty cell restores from the cells journal, and a
+	// deduped resubmission recovers the lost job ID and trace ID.
+	d2 := startDaemon(t, "-journal", dir, "-workers", "2")
+	code, subB := postSpec(t, d2, specB)
+	if code != http.StatusOK || subB["deduped"] != true {
+		t.Fatalf("resubmit B = %d (%v), want 200 deduped", code, subB)
+	}
+	idB := subB["id"].(string)
+	traceB := subB["trace_id"].(string)
+	if traceB == "" || idB == idA {
+		t.Fatalf("replayed job B has id=%s trace=%s", idB, traceB)
+	}
+	waitDone(t, d2, idB)
+
+	first := getTrace(t, d2, idB)
+	second := getTrace(t, d2, idB)
+	if !bytes.Equal(first, second) {
+		t.Error("trace document differs between refetches")
+	}
+	if !bytes.Contains(first, []byte("journal.replay")) {
+		t.Errorf("replayed trace has no journal.replay span:\n%s", first)
+	}
+
+	// Lint the span tree: one root, every parent resolves, sane times.
+	var doc struct {
+		TraceEvents []struct {
+			Ph   string         `json:"ph"`
+			TS   int64          `json:"ts"`
+			Dur  int64          `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(first, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	str_ := func(v any) string { s, _ := v.(string); return s }
+	ids := map[string]bool{}
+	roots := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		ids[str_(ev.Args["span"])] = true
+		if str_(ev.Args["parent"]) == "" {
+			roots++
+		}
+		if ev.TS < 0 || ev.Dur <= 0 {
+			t.Errorf("span %s has ts=%d dur=%d", str_(ev.Args["span"]), ev.TS, ev.Dur)
+		}
+		if str_(ev.Args["trace"]) != traceB {
+			t.Errorf("span carries trace %q, want %q", str_(ev.Args["trace"]), traceB)
+		}
+	}
+	if len(ids) == 0 || roots != 1 {
+		t.Fatalf("span tree has %d spans and %d roots, want >0 and exactly 1", len(ids), roots)
+	}
+	for _, ev := range doc.TraceEvents {
+		if p := str_(ev.Args["parent"]); ev.Ph == "X" && p != "" && !ids[p] {
+			t.Errorf("orphan span %s: parent %s not in document", str_(ev.Args["span"]), p)
+		}
+	}
+
+	// The latency histograms are exposed with exemplars on the service's
+	// own /metrics endpoint.
+	resp, err := http.Get(d2.url("/metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, name := range []string{"svf_job_queue_seconds", "svf_cell_run_seconds", "svf_lease_wait_seconds"} {
+		if !bytes.Contains(metrics, []byte(name+"_count")) {
+			t.Errorf("/metrics missing %s", name)
+		}
+	}
+	if !bytes.Contains(metrics, []byte(`trace_id="`)) {
+		t.Error("/metrics has no trace exemplars")
+	}
+}

@@ -187,9 +187,19 @@ func run() int {
 		defer events.Close()
 	}
 	telemetryOn := *eventsPath != "" || *obsAddr != ""
+	var tracer *telemetry.Tracer
+	var campaignSpan *telemetry.ActiveSpan
 	if telemetryOn {
 		registry = telemetry.NewRegistry()
 		progress = telemetry.NewProgress()
+		// The campaign is one trace: a root span whose context rides the
+		// suite ctx into every cache call, so sharded cells record
+		// lease/worker spans and the event log carries span_end records.
+		tracer = telemetry.NewTracer()
+		tracer.SetEvents(events)
+		campaignTrace := telemetry.MintTraceID("svf-campaign|" + strings.Join(os.Args[1:], " "))
+		campaignSpan = tracer.StartSpan(telemetry.SpanContext{Trace: campaignTrace}, "campaign")
+		ctx = telemetry.ContextWithSpan(ctx, campaignSpan.Context())
 	}
 	if *obsAddr != "" {
 		srv := &telemetry.Server{Registry: registry, Progress: progress}
@@ -319,6 +329,7 @@ func run() int {
 			},
 			Registry: registry,
 			Events:   events,
+			Tracer:   tracer,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "svfexp: -workers: %v\n", err)
@@ -337,7 +348,7 @@ func run() int {
 	if telemetryOn {
 		// Attached after the journal restore so the observer's opening
 		// journal_restore event reflects what actually came back from disk.
-		cache.SetObserver(&sim.Observer{Events: events, Registry: registry, Progress: progress})
+		cache.SetObserver(&sim.Observer{Events: events, Registry: registry, Progress: progress, Tracer: tracer})
 	}
 	cfg := experiments.Config{
 		MaxInsts: *insts, TrafficInsts: *traffic, Parallel: *parallel, Cache: cache,
@@ -551,6 +562,7 @@ func run() int {
 	if ctx.Err() != nil {
 		events.Emit(telemetry.Event{Type: "interrupt", Detail: "suite cancelled by signal"})
 	}
+	campaignSpan.End()
 	events.Emit(telemetry.Event{Type: "campaign_finish",
 		DurMS:  float64(time.Since(suiteTime)) / float64(time.Millisecond),
 		Detail: fmt.Sprintf("%d experiment(s) ran, %d failed", ran, failed)})

@@ -22,6 +22,7 @@ func (s *Server) Handler() http.Handler {
 	route("POST /v1/jobs", "/v1/jobs", s.handleSubmit)
 	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleStatus)
 	route("GET /v1/jobs/{id}/results", "/v1/jobs/{id}/results", s.handleResults)
+	route("GET /v1/jobs/{id}/trace", "/v1/jobs/{id}/trace", s.handleTrace)
 	route("GET /v1/progress", "/v1/progress", s.handleProgress)
 	route("GET /healthz", "/healthz", s.handleHealthz)
 	route("GET /readyz", "/readyz", s.handleReadyz)
@@ -59,7 +60,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}
-	res := s.Submit(spec, len(body))
+	// An inbound X-Svf-Trace header links the job to the client's own
+	// trace. Parsed leniently: a malformed header is treated as absent —
+	// tracing context must never fail a submission.
+	parent, perr := telemetry.ParseSpanContext(r.Header.Get("X-Svf-Trace"))
+	if perr != nil {
+		parent = telemetry.SpanContext{}
+	}
+	res := s.SubmitTraced(spec, len(body), parent)
 	switch {
 	case errors.Is(res.shed, errDraining):
 		w.Header().Set("Retry-After", "10")
@@ -72,14 +80,32 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		if res.deduped {
 			code = http.StatusOK
 		}
+		w.Header().Set("X-Svf-Trace", res.job.trace)
 		writeJSON(w, code, map[string]any{
 			"id":          res.job.ID,
 			"deduped":     res.deduped,
 			"cells":       len(res.job.cells),
 			"status_url":  "/v1/jobs/" + res.job.ID,
 			"results_url": "/v1/jobs/" + res.job.ID + "/results",
+			"trace_id":    res.job.trace,
+			"trace_url":   "/v1/jobs/" + res.job.ID + "/trace",
 		})
 	}
+}
+
+// handleTrace is GET /v1/jobs/{id}/trace: the job's span tree rendered as
+// Chrome trace-event JSON (load it in Perfetto or chrome://tracing). The
+// rendering is deterministic, so once the job is done two fetches return
+// identical bytes. With tracing disabled the document is valid but empty.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, map[string]any{"error": "unknown job"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Svf-Trace", j.trace)
+	_, _ = s.cfg.Tracer.WriteTrace(w, j.trace)
 }
 
 // cellStatus is one cell's row in a status response.

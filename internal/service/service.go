@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -58,6 +59,11 @@ type Config struct {
 	Registry *telemetry.Registry
 	Progress *telemetry.Progress
 	Events   *telemetry.EventLog
+	// Tracer records each job's span tree (job → admit → queue →
+	// cell → …) and serves GET /v1/jobs/{id}/trace. Optional; nil
+	// disables tracing at zero cost. Wire the same tracer into the shard
+	// pool and the cache observer so their spans land in the same trees.
+	Tracer *telemetry.Tracer
 	// Logf narrates lifecycle to the daemon log; default discards.
 	Logf func(format string, args ...any)
 	// Exit replaces os.Exit for the injected daemon-kill (tests).
@@ -118,12 +124,24 @@ type Job struct {
 	spec *JobSpec
 	// bytes is the admission byte charge held until the job finishes.
 	bytes int64
+	// trace is the job's trace ID — minted deterministically from the
+	// job's content-fingerprint ID, so a journal-replayed job (even one
+	// accepted by a pre-tracing build) continues the same trace. Immutable
+	// after construction.
+	trace string
+	// root is the job's root span (nil when tracing is off); acceptedAt
+	// anchors the queue-wait histogram.
+	root       *telemetry.ActiveSpan
+	acceptedAt time.Time
 
 	mu       sync.Mutex
 	state    string
 	cells    []*cellState
 	finished chan struct{}
 }
+
+// Trace returns the job's trace ID.
+func (j *Job) Trace() string { return j.trace }
 
 func (j *Job) setState(s string) {
 	j.mu.Lock()
@@ -146,6 +164,9 @@ type jobRecord struct {
 	State string          `json:"state"` // "accepted" | "done"
 	Spec  json.RawMessage `json:"spec"`
 	Cells []cellRecord    `json:"cells,omitempty"`
+	// Trace is the job's trace ID. Absent in records written before
+	// tracing existed; replay re-mints the same ID from the job ID.
+	Trace string `json:"trace,omitempty"`
 }
 
 // cellRecord is one cell's journaled outcome.
@@ -230,6 +251,12 @@ func New(cfg Config) (*Server, error) {
 		r.Help("svf_service_cells_total", "cells finished, by terminal status")
 		r.Help("svf_service_jobs_outstanding", "jobs queued or running")
 		r.Help("svf_service_queue_bytes", "summed spec bytes of outstanding jobs")
+		r.Help("svf_job_queue_seconds", "time from job admission to its driver starting")
+		r.Help("svf_cell_run_seconds", "wall-clock time one cell spent executing, including cache and lease waits")
+		// Registered eagerly so /metrics shows the families before the
+		// first job.
+		r.Histogram("svf_job_queue_seconds", telemetry.SecondsBuckets...)
+		r.Histogram("svf_cell_run_seconds", telemetry.SecondsBuckets...)
 	}
 	if err := s.replayJobs(); err != nil {
 		cancel()
@@ -262,6 +289,13 @@ func (s *Server) replayJobs() error {
 			continue
 		}
 		j := &Job{ID: jr.ID, spec: spec, bytes: int64(len(jr.Spec)), finished: make(chan struct{})}
+		// Pre-tracing records carry no trace ID; minting is deterministic
+		// on the job ID, so the replayed job continues the same trace its
+		// original acceptance would have had.
+		j.trace = jr.Trace
+		if j.trace == "" {
+			j.trace = telemetry.MintTraceID("svf-job|" + jr.ID)
+		}
 		for _, c := range spec.Cells {
 			j.cells = append(j.cells, &cellState{spec: c, status: CellPending, done: make(chan struct{})})
 		}
@@ -277,8 +311,13 @@ func (s *Server) replayJobs() error {
 			continue
 		}
 		// Unfinished: the accepted record survived, the done record did
-		// not — the daemon died mid-job. Re-admit it.
+		// not — the daemon died mid-job. Re-admit it, with a fresh root
+		// span marked as a replay.
 		j.state = JobQueued
+		j.acceptedAt = time.Now()
+		j.root = s.cfg.Tracer.StartSpan(telemetry.SpanContext{Trace: j.trace}, "job")
+		j.root.SetAttr("job", jr.ID)
+		j.root.SetAttr("replayed", "true")
 		s.outstanding++
 		s.outstandingBytes += j.bytes
 		s.jobsWG.Add(1)
@@ -335,10 +374,20 @@ var errOverload = errors.New("service: admission queue full")
 // errDraining marks a 503 during drain.
 var errDraining = errors.New("service: draining")
 
-// Submit admits one parsed spec of rawLen bytes. It implements the
+// Submit admits one parsed spec of rawLen bytes with no inbound trace
+// parent. See SubmitTraced.
+func (s *Server) Submit(spec *JobSpec, rawLen int) submitResult {
+	return s.SubmitTraced(spec, rawLen, telemetry.SpanContext{})
+}
+
+// SubmitTraced admits one parsed spec of rawLen bytes. It implements the
 // admission contract: dedupe first (a retry of a known job is never
 // shed), then bounded queue + byte budget, then journal, then execute.
-func (s *Server) Submit(spec *JobSpec, rawLen int) submitResult {
+// parent is the client's X-Svf-Trace context; the job's own trace ID is
+// always minted from its content fingerprint (so dedupe and replay keep
+// one trace per job), and a remote parent is recorded as a root-span
+// attribute rather than a span link — the served span tree stays closed.
+func (s *Server) SubmitTraced(spec *JobSpec, rawLen int, parent telemetry.SpanContext) submitResult {
 	id := spec.ID()
 	s.mu.Lock()
 	if s.draining {
@@ -357,6 +406,8 @@ func (s *Server) Submit(spec *JobSpec, rawLen int) submitResult {
 		return submitResult{shed: errOverload}
 	}
 	j := &Job{ID: id, spec: spec, bytes: int64(rawLen), state: JobQueued, finished: make(chan struct{})}
+	j.trace = telemetry.MintTraceID("svf-job|" + id)
+	j.acceptedAt = time.Now()
 	for _, c := range spec.Cells {
 		j.cells = append(j.cells, &cellState{spec: c, status: CellPending, done: make(chan struct{})})
 	}
@@ -376,6 +427,15 @@ func (s *Server) Submit(spec *JobSpec, rawLen int) submitResult {
 	s.gauges()
 	s.event(telemetry.Event{Type: "job_accepted", Key: "job|" + id, Detail: fmt.Sprintf("cells=%d bytes=%d", len(j.cells), rawLen)})
 
+	// The job's root span opens here; the admit span covers the rest of
+	// the admission path through the durable accepted record.
+	j.root = s.cfg.Tracer.StartSpan(telemetry.SpanContext{Trace: j.trace}, "job")
+	j.root.SetAttr("job", id)
+	if parent.Valid() {
+		j.root.SetAttr("remote_parent", parent.String())
+	}
+	admit := s.cfg.Tracer.StartSpan(j.root.Context(), "admit")
+
 	// Chaos: a stalled accept path holds its admission slot — concurrent
 	// submissions see the queue fuller, which is exactly the overload
 	// behavior the drill wants to observe.
@@ -388,6 +448,7 @@ func (s *Server) Submit(spec *JobSpec, rawLen int) submitResult {
 	}
 
 	s.journalJob(j, "accepted", nil)
+	admit.End()
 
 	// Chaos: the deterministic stand-in for the drill's kill -9 — die
 	// right after the accepted record is durable, before any execution.
@@ -422,7 +483,7 @@ func (s *Server) journalJob(j *Job, state string, cells []cellRecord) {
 		s.cfg.Logf("svfd: journal: marshal job %s: %v", j.ID, err)
 		return
 	}
-	data, err := json.Marshal(jobRecord{ID: j.ID, State: state, Spec: specJSON, Cells: cells})
+	data, err := json.Marshal(jobRecord{ID: j.ID, State: state, Spec: specJSON, Cells: cells, Trace: j.trace})
 	if err != nil {
 		s.cfg.Logf("svfd: journal: marshal job record %s: %v", j.ID, err)
 		return
@@ -446,6 +507,10 @@ func (s *Server) startJob(j *Job) {
 func (s *Server) runJob(j *Job) {
 	j.setState(JobRunning)
 	s.event(telemetry.Event{Type: "job_start", Key: "job|" + j.ID})
+	if s.cfg.Registry != nil {
+		s.cfg.Registry.Histogram("svf_job_queue_seconds", telemetry.SecondsBuckets...).
+			ObserveExemplar(time.Since(j.acceptedAt).Seconds(), j.trace)
+	}
 	ctx := s.baseCtx
 	if d := s.jobDeadline(j.spec); d > 0 {
 		var cancel context.CancelFunc
@@ -453,49 +518,70 @@ func (s *Server) runJob(j *Job) {
 		defer cancel()
 	}
 	var wg sync.WaitGroup
-	for _, cs := range j.cells {
+	for i, cs := range j.cells {
+		// Each cell gets a span under the job root; the queue span inside
+		// it covers the wait for an execution slot.
+		var cellSp *telemetry.ActiveSpan
+		if s.cfg.Tracer != nil {
+			cellSp = s.cfg.Tracer.StartSpan(j.root.Context(), fmt.Sprintf("cell[%d] %s", i, cs.spec.BenchID()))
+		}
+		queueSp := s.cfg.Tracer.StartSpan(cellSp.Context(), "queue")
 		select {
 		case s.sem <- struct{}{}:
+			queueSp.End()
 		case <-ctx.Done():
 			// Deadline or shutdown while waiting for a slot: the
 			// remaining cells terminate without executing.
-			s.finishCell(j, cs, ctx.Err())
+			queueSp.End()
+			s.finishCell(j, cs, ctx.Err(), cellSp)
 			continue
 		}
 		wg.Add(1)
-		go func(cs *cellState) {
+		go func(cs *cellState, sp *telemetry.ActiveSpan) {
 			defer wg.Done()
 			defer func() { <-s.sem }()
-			s.execCell(ctx, j, cs)
-		}(cs)
+			s.execCell(ctx, j, cs, sp)
+		}(cs, cellSp)
 	}
 	wg.Wait()
 	s.finishJob(j)
 }
 
 // execCell runs one cell under its own deadline and records the outcome.
-func (s *Server) execCell(ctx context.Context, j *Job, cs *cellState) {
+// The cell span rides the context into the cache (and from there into the
+// shard pool), and the goroutine carries pprof job/cell labels so
+// /debug/pprof profiles segment by job.
+func (s *Server) execCell(ctx context.Context, j *Job, cs *cellState, sp *telemetry.ActiveSpan) {
 	if d := s.cellDeadline(j.spec); d > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, d)
 		defer cancel()
 	}
 	cs.set(CellRunning, "")
+	ctx = telemetry.ContextWithSpan(ctx, sp.Context())
+	start := time.Now()
 	var err error
 	spec := cs.spec
-	switch spec.Kind {
-	case CellRun:
-		_, err = s.cfg.Cache.Run(ctx, spec.prof, *spec.Opt)
-	case CellTraffic:
-		_, _, _, err = s.cfg.Cache.Traffic(ctx, spec.prof, spec.policy, spec.SizeBytes, spec.MaxInsts, spec.CtxPeriod)
-	default:
-		err = fmt.Errorf("unreachable cell kind %q", spec.Kind)
+	pprof.Do(ctx, pprof.Labels("job", j.ID, "cell", spec.key), func(ctx context.Context) {
+		switch spec.Kind {
+		case CellRun:
+			_, err = s.cfg.Cache.Run(ctx, spec.prof, *spec.Opt)
+		case CellTraffic:
+			_, _, _, err = s.cfg.Cache.Traffic(ctx, spec.prof, spec.policy, spec.SizeBytes, spec.MaxInsts, spec.CtxPeriod)
+		default:
+			err = fmt.Errorf("unreachable cell kind %q", spec.Kind)
+		}
+	})
+	if s.cfg.Registry != nil {
+		s.cfg.Registry.Histogram("svf_cell_run_seconds", telemetry.SecondsBuckets...).
+			ObserveExemplar(time.Since(start).Seconds(), j.trace)
 	}
-	s.finishCell(j, cs, err)
+	s.finishCell(j, cs, err, sp)
 }
 
-// finishCell classifies err into a terminal status and records it.
-func (s *Server) finishCell(j *Job, cs *cellState, err error) {
+// finishCell classifies err into a terminal status and records it, closing
+// the cell's span with a zero-width result marker.
+func (s *Server) finishCell(j *Job, cs *cellState, err error, sp *telemetry.ActiveSpan) {
 	status, msg := CellDone, ""
 	var le *sim.LatchedError
 	switch {
@@ -517,6 +603,12 @@ func (s *Server) finishCell(j *Job, cs *cellState, err error) {
 		status, msg = CellFailed, err.Error()
 	}
 	cs.set(status, msg)
+	if rsp := s.cfg.Tracer.StartSpan(sp.Context(), "result"); rsp != nil {
+		rsp.SetAttr("status", status)
+		rsp.End()
+	}
+	sp.SetAttr("status", status)
+	sp.End()
 	s.cfg.Progress.Done(1)
 	s.countLabeled("svf_service_cells_total", "status", status)
 	if status != CellDone {
@@ -536,6 +628,10 @@ func (s *Server) finishJob(j *Job) {
 			failed++
 		}
 	}
+	// The root span ends before the state flips to done, so a client that
+	// polled the job done and fetches the trace sees the frozen, complete
+	// span tree — byte-identical across refetches.
+	j.root.End()
 	s.journalJob(j, "done", cells)
 	j.setState(JobDone)
 

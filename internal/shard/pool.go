@@ -6,6 +6,8 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
@@ -84,6 +86,10 @@ type Config struct {
 	Registry *telemetry.Registry
 	// Events, when non-nil, receives worker lifecycle events.
 	Events *telemetry.EventLog
+	// Tracer, when non-nil, records lease.wait and lease[gen] spans for
+	// cells whose context carries a trace, and stamps the trace context on
+	// outgoing cell frames.
+	Tracer *telemetry.Tracer
 }
 
 // Pool is the coordinator's worker fleet: it implements sim.Executor, so a
@@ -204,6 +210,10 @@ func NewPool(cfg Config) (*Pool, error) {
 		r.Help("svf_shard_stale_results_total", "worker frames discarded because their lease had expired")
 		r.Help("svf_shard_quarantined_total", "poison cells quarantined after killing K distinct workers")
 		r.Help("svf_shard_workers_alive", "live worker processes")
+		r.Help("svf_lease_wait_seconds", "time a cell waited for an idle worker before its lease was granted")
+		// Registered eagerly so /metrics shows the family before the first
+		// assignment.
+		r.Histogram("svf_lease_wait_seconds", telemetry.SecondsBuckets...)
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -236,7 +246,12 @@ func (p *Pool) spawnLocked(w *worker) error {
 	w.alive = true
 	w.lease = nil
 	p.gaugeWorkers()
-	go p.readLoop(w, proc, w.gen)
+	gen := w.gen
+	// The reader goroutine is tagged with its slot so coordinator-side
+	// pprof profiles segment by worker.
+	go pprof.Do(context.Background(), pprof.Labels("worker", strconv.Itoa(w.slot)), func(context.Context) {
+		p.readLoop(w, proc, gen)
+	})
 	return nil
 }
 
@@ -457,16 +472,29 @@ func (p *Pool) ExecTraffic(ctx context.Context, prof *synth.Profile, policy pipe
 // waits the lease out, which is what makes SIGTERM a graceful drain
 // (in-flight cells finish; the wait is bounded by the lease TTL).
 func (p *Pool) execCell(ctx context.Context, cell *Cell, key, bench string) (*Frame, error) {
+	// Tracing: the caller's span (the cache's worker.run/retry attempt)
+	// parents a lease.wait span covering the idle-worker wait and a
+	// lease[genN] span covering assignment through outcome. The wait is
+	// also observed in svf_lease_wait_seconds with the trace ID as its
+	// exemplar. All of it is skipped when the context carries no trace.
+	sc := telemetry.SpanFromContext(ctx)
+	var waitSp *telemetry.ActiveSpan
+	if p.cfg.Tracer != nil && sc.Valid() {
+		waitSp = p.cfg.Tracer.StartSpan(sc, "lease.wait")
+	}
+	waitStart := time.Now()
 	var w *worker
 	for {
 		select {
 		case w = <-p.idle:
 		case <-ctx.Done():
+			waitSp.End()
 			return nil, ctx.Err()
 		}
 		p.mu.Lock()
 		if p.closed {
 			p.mu.Unlock()
+			waitSp.End()
 			return nil, fmt.Errorf("shard: pool is closed")
 		}
 		if w.alive {
@@ -475,6 +503,7 @@ func (p *Pool) execCell(ctx context.Context, cell *Cell, key, bench string) (*Fr
 		// A dead slot that failed its respawn earlier: try again now.
 		if err := p.spawnLocked(w); err != nil {
 			p.mu.Unlock()
+			waitSp.End()
 			return nil, fmt.Errorf("shard: no live worker for %s: %w", bench, err)
 		}
 		p.respawns++
@@ -501,11 +530,35 @@ func (p *Pool) execCell(ctx context.Context, cell *Cell, key, bench string) (*Fr
 	p.assigned++
 	p.count("svf_shard_assigned_total")
 	proc := w.proc
+	slot, gen, pid := w.slot, w.gen, w.pid
 	p.mu.Unlock()
+
+	waitSp.End()
+	if p.cfg.Registry != nil {
+		p.cfg.Registry.Histogram("svf_lease_wait_seconds", telemetry.SecondsBuckets...).
+			ObserveExemplar(time.Since(waitStart).Seconds(), sc.Trace)
+	}
+	var leaseSp *telemetry.ActiveSpan
+	if p.cfg.Tracer != nil && sc.Valid() {
+		leaseSp = p.cfg.Tracer.StartSpan(sc, fmt.Sprintf("lease[gen%d]", gen))
+		leaseSp.SetAttr("lease", fmt.Sprint(l.id))
+		leaseSp.SetAttr("slot", strconv.Itoa(slot))
+		leaseSp.SetAttr("pid", strconv.Itoa(pid))
+	}
+	// The cell frame carries the lease span's context (falling back to the
+	// caller's) so worker-echoed heartbeat/result/fault frames correlate
+	// with the job's span tree.
+	var frameTrace *telemetry.SpanContext
+	if fsc := leaseSp.Context(); fsc.Valid() {
+		frameTrace = &fsc
+	} else if sc.Valid() {
+		scc := sc
+		frameTrace = &scc
+	}
 
 	p.event(telemetry.Event{Type: "shard_assign", Bench: bench, Key: key, Detail: fmt.Sprintf("worker %d lease %d", w.slot, l.id)})
 	w.wmu.Lock()
-	werr := writeFrame(proc.In, &Frame{Type: FrameCell, Lease: l.id, Cell: cell})
+	werr := writeFrame(proc.In, &Frame{Type: FrameCell, Lease: l.id, Cell: cell, Trace: frameTrace})
 	w.wmu.Unlock()
 	if werr != nil {
 		// The pipe is broken, so the reader is about to run the death
@@ -514,6 +567,21 @@ func (p *Pool) execCell(ctx context.Context, cell *Cell, key, bench string) (*Fr
 	}
 
 	out := <-l.ch
+	if leaseSp != nil {
+		switch {
+		case out.err != nil:
+			if _, poison := out.err.(*PoisonCellError); poison {
+				leaseSp.SetAttr("outcome", "quarantine")
+			} else {
+				leaseSp.SetAttr("outcome", "worker-lost")
+			}
+		case out.frame.Type == FrameFault:
+			leaseSp.SetAttr("outcome", "fault")
+		default:
+			leaseSp.SetAttr("outcome", "ok")
+		}
+		leaseSp.End()
+	}
 	if out.err != nil {
 		return nil, out.err
 	}

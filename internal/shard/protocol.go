@@ -25,6 +25,7 @@ import (
 	"svf/internal/pipeline"
 	"svf/internal/sim"
 	"svf/internal/synth"
+	"svf/internal/telemetry"
 )
 
 // ProtocolVersion guards against a coordinator driving a worker built from
@@ -73,6 +74,14 @@ type Frame struct {
 
 	// Fault is a contained execution failure (fault frames).
 	Fault *FaultInfo `json:",omitempty"`
+
+	// Trace is the distributed-tracing context for this lease: set by the
+	// coordinator on cell frames and echoed by the worker on its
+	// heartbeat/result/fault frames, so frames in a capture correlate with
+	// the job's span tree. Optional and ignored by older peers (unknown
+	// JSON fields are skipped; absent fields stay nil), so it needs no
+	// ProtocolVersion bump.
+	Trace *telemetry.SpanContext `json:",omitempty"`
 }
 
 // Cell is one unit of campaign work: a timing run or a functional traffic

@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 	"time"
 
 	"svf/internal/sim"
+	"svf/internal/telemetry"
 )
 
 // Worker is the other end of the coordinator's pipe: it executes one cell
@@ -86,7 +89,7 @@ func (w *Worker) runCell(ctx context.Context, f *Frame) error {
 	if cell == nil {
 		return fmt.Errorf("shard: cell frame without cell payload")
 	}
-	stopHB := w.startHeartbeats(f.Lease, cell.HeartbeatMS)
+	stopHB := w.startHeartbeats(f.Lease, cell.HeartbeatMS, f.Trace)
 
 	// Chaos flags: the coordinator marked this assignment for a drill.
 	if cell.Kill {
@@ -103,40 +106,53 @@ func (w *Worker) runCell(ctx context.Context, f *Frame) error {
 		return nil
 	}
 
-	out := &Frame{Lease: f.Lease}
-	switch cell.Kind {
-	case CellRun:
-		if cell.Prof == nil || cell.Opt == nil {
-			out.Type, out.Fault = FrameFault, &FaultInfo{Msg: "shard: run cell missing profile or options"}
-			break
-		}
-		res, err := sim.RunContext(ctx, cell.Prof, *cell.Opt)
-		if err != nil {
-			out.Type, out.Fault = FrameFault, faultInfoOf(err)
-		} else {
-			out.Type, out.Run = FrameResult, res
-		}
-	case CellTraffic:
-		if cell.Prof == nil {
-			out.Type, out.Fault = FrameFault, &FaultInfo{Msg: "shard: traffic cell missing profile"}
-			break
-		}
-		in, outQW, cb, err := sim.TrafficOnly(ctx, cell.Prof, cell.Policy, cell.SizeBytes, cell.MaxInsts, cell.CtxPeriod)
-		if err != nil {
-			out.Type, out.Fault = FrameFault, faultInfoOf(err)
-		} else {
-			out.Type, out.In, out.Out, out.CtxBytes = FrameResult, in, outQW, cb
-		}
-	default:
-		out.Type, out.Fault = FrameFault, &FaultInfo{Msg: fmt.Sprintf("shard: unknown cell kind %q", cell.Kind)}
+	// The trace context is echoed on the outcome frame, and the execution
+	// goroutine is tagged with pprof labels so /debug/pprof profiles on a
+	// worker segment by job and cell.
+	out := &Frame{Lease: f.Lease, Trace: f.Trace}
+	labels := []string{"worker", strconv.Itoa(os.Getpid())}
+	if cell.Prof != nil {
+		labels = append(labels, "cell", cell.Prof.ID())
 	}
+	if f.Trace != nil && f.Trace.Trace != "" {
+		labels = append(labels, "job", f.Trace.Trace)
+	}
+	pprof.Do(ctx, pprof.Labels(labels...), func(ctx context.Context) {
+		switch cell.Kind {
+		case CellRun:
+			if cell.Prof == nil || cell.Opt == nil {
+				out.Type, out.Fault = FrameFault, &FaultInfo{Msg: "shard: run cell missing profile or options"}
+				break
+			}
+			res, err := sim.RunContext(ctx, cell.Prof, *cell.Opt)
+			if err != nil {
+				out.Type, out.Fault = FrameFault, faultInfoOf(err)
+			} else {
+				out.Type, out.Run = FrameResult, res
+			}
+		case CellTraffic:
+			if cell.Prof == nil {
+				out.Type, out.Fault = FrameFault, &FaultInfo{Msg: "shard: traffic cell missing profile"}
+				break
+			}
+			in, outQW, cb, err := sim.TrafficOnly(ctx, cell.Prof, cell.Policy, cell.SizeBytes, cell.MaxInsts, cell.CtxPeriod)
+			if err != nil {
+				out.Type, out.Fault = FrameFault, faultInfoOf(err)
+			} else {
+				out.Type, out.In, out.Out, out.CtxBytes = FrameResult, in, outQW, cb
+			}
+		default:
+			out.Type, out.Fault = FrameFault, &FaultInfo{Msg: fmt.Sprintf("shard: unknown cell kind %q", cell.Kind)}
+		}
+	})
 	stopHB()
 	return w.write(out)
 }
 
 // startHeartbeats begins the lease's heartbeat ticker and returns its stop
-// function (idempotent).
-func (w *Worker) startHeartbeats(lease uint64, periodMS int64) func() {
+// function (idempotent). Heartbeats echo the lease's trace context so a
+// frame capture correlates liveness with the job's span tree.
+func (w *Worker) startHeartbeats(lease uint64, periodMS int64, trace *telemetry.SpanContext) func() {
 	if periodMS <= 0 {
 		return func() {}
 	}
@@ -150,7 +166,7 @@ func (w *Worker) startHeartbeats(lease uint64, periodMS int64) func() {
 			case <-t.C:
 				// A failed heartbeat write means the coordinator is gone;
 				// the main loop's read will notice, nothing to do here.
-				_ = w.write(&Frame{Type: FrameHeartbeat, Lease: lease})
+				_ = w.write(&Frame{Type: FrameHeartbeat, Lease: lease, Trace: trace})
 			case <-stop:
 				return
 			}

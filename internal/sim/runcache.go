@@ -142,9 +142,16 @@ func Canonical(opt Options) Options {
 // exponential backoff, every failure is recorded as a fault (the final one
 // latched permanent), and a success is recorded via record so a later
 // request — or, for durable stores, a later process — restores it.
-func cacheExec[V any](ctx context.Context, c *RunCache, key, bench string, fn func() (V, error), record func(V) (journal.Record, error)) (V, error) {
+func cacheExec[V any](ctx context.Context, c *RunCache, key, bench string, fn func(context.Context) (V, error), record func(V) (journal.Record, error)) (V, error) {
 	stored := c.store != nil && key != ""
 	budget := c.attemptBudget()
+	// Each execution attempt gets its own span (worker.run for the first,
+	// retry for re-executions) parented to whatever span rides the caller's
+	// context — the service's cell span, or nothing. StartSpan returns nil
+	// when tracing is off or the context carries no trace, and every span
+	// method on nil is a no-op, so the disabled path allocates nothing.
+	sc := telemetry.SpanFromContext(ctx)
+	tr := c.obs.tracer()
 	var attempts uint32
 	if stored {
 		if attempts = c.store.PriorAttempts(key); attempts >= budget {
@@ -167,7 +174,24 @@ func cacheExec[V any](ctx context.Context, c *RunCache, key, bench string, fn fu
 			c.obs.emit(telemetry.Event{Type: "retry", Bench: bench, Key: key, Attempt: attempts + 1})
 			c.obs.count("svf_sim_retries_total", 1)
 		}
-		v, err := fn()
+		name := "worker.run"
+		if attempts > 0 {
+			name = "retry"
+		}
+		sp := tr.StartSpan(sc, name)
+		if sp != nil {
+			sp.SetAttr("bench", bench)
+			sp.SetAttr("attempt", fmt.Sprint(attempts+1))
+		}
+		v, err := fn(telemetry.ContextWithSpan(ctx, sp.Context()))
+		if sp != nil {
+			outcome := "ok"
+			if err != nil {
+				outcome = "fault"
+			}
+			sp.SetAttr("outcome", outcome)
+			sp.End()
+		}
 		if err == nil {
 			if stored && record != nil {
 				if rec, rerr := record(v); rerr == nil {
@@ -198,6 +222,16 @@ func cacheExec[V any](ctx context.Context, c *RunCache, key, bench string, fn fu
 			c.store.Fault(key, bench, attempts, permanent, err)
 		}
 		if permanent {
+			// A latched cell is visible in the trace as a zero-width
+			// quarantine span alongside the failed attempt.
+			if qsp := tr.StartSpan(sc, "quarantine"); qsp != nil {
+				qsp.SetAttr("bench", bench)
+				qsp.SetAttr("attempt", fmt.Sprint(attempts))
+				if poison {
+					qsp.SetAttr("poison", "true")
+				}
+				qsp.End()
+			}
 			c.obs.emit(telemetry.Event{Type: "latched", Bench: bench, Key: key, Attempt: attempts, Err: err.Error()})
 			c.obs.progressLatched()
 			return v, err
@@ -233,7 +267,7 @@ func (c *RunCache) Run(ctx context.Context, prof *synth.Profile, opt Options) (*
 		}
 		fp = runFingerprint(prof.Fingerprint(), opt)
 	}
-	execRun := func() (*Result, error) {
+	execRun := func(ctx context.Context) (*Result, error) {
 		c.obs.emit(telemetry.Event{Type: "run_start", Bench: prof.ID(), Fingerprint: fp})
 		start := time.Now()
 		res, err := run(ctx, prof, opt)
@@ -245,7 +279,7 @@ func (c *RunCache) Run(ctx context.Context, prof *synth.Profile, opt Options) (*
 	if opt.FaultPlan.Active() && opt.FaultPlan.Matches(prof.ID()) {
 		c.cnt.misses.Inc()
 		start := time.Now()
-		res, err := execRun()
+		res, err := execRun(ctx)
 		c.cnt.simNanos.Add(uint64(time.Since(start)))
 		if err != nil {
 			c.cnt.errors.Inc()
@@ -268,7 +302,9 @@ func (c *RunCache) Run(ctx context.Context, prof *synth.Profile, opt Options) (*
 	var onServe func(shared bool)
 	if c.obs != nil {
 		onServe = func(shared bool) {
-			c.obs.serveEvent(prof.ID(), skey, fp, shared, c.storeRestored(skey))
+			restored := c.storeRestored(skey)
+			c.obs.serveEvent(prof.ID(), skey, fp, shared, restored)
+			c.serveSpan(ctx, prof.ID(), skey, shared, restored)
 		}
 	}
 	res, err := c.runs.do(ctx, key, &c.cnt, onServe, func() (*Result, error) {
@@ -313,7 +349,9 @@ func (c *RunCache) Traffic(ctx context.Context, prof *synth.Profile, policy pipe
 	var onServe func(shared bool)
 	if c.obs != nil {
 		onServe = func(shared bool) {
-			c.obs.serveEvent(prof.ID(), skey, "", shared, c.storeRestored(skey))
+			restored := c.storeRestored(skey)
+			c.obs.serveEvent(prof.ID(), skey, "", shared, restored)
+			c.serveSpan(ctx, prof.ID(), skey, shared, restored)
 		}
 	}
 	execTraffic := TrafficOnly
@@ -321,7 +359,7 @@ func (c *RunCache) Traffic(ctx context.Context, prof *synth.Profile, policy pipe
 		execTraffic = c.exec.ExecTraffic
 	}
 	v, err := c.traffic.do(ctx, key, &c.cnt, onServe, func() (trafficVal, error) {
-		return cacheExec(ctx, c, skey, prof.ID(), func() (trafficVal, error) {
+		return cacheExec(ctx, c, skey, prof.ID(), func(ctx context.Context) (trafficVal, error) {
 			in, out, cb, err := execTraffic(ctx, prof, policy, sizeBytes, maxInsts, ctxPeriod)
 			return trafficVal{in, out, cb}, err
 		}, func(v trafficVal) (journal.Record, error) {
@@ -357,7 +395,7 @@ func (c *RunCache) Characterize(ctx context.Context, prof *synth.Profile, maxIns
 	return c.char.do(ctx, key, &c.cnt, nil, func() (*synth.Characterization, error) {
 		// Characterisations are not journaled (empty key): cheap,
 		// deterministic functional passes that simply recompute on resume.
-		return cacheExec(ctx, c, "", prof.ID(), func() (*synth.Characterization, error) {
+		return cacheExec(ctx, c, "", prof.ID(), func(context.Context) (*synth.Characterization, error) {
 			prog, err := ProgramFor(prof)
 			if err != nil {
 				return nil, err

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"time"
 
 	"svf/internal/telemetry"
@@ -22,6 +23,18 @@ type Observer struct {
 	// Progress receives per-cell fault/latch counts. The done/total counts
 	// are the experiment runner's job (it knows the sweep shape).
 	Progress *telemetry.Progress
+	// Tracer receives execution spans (worker.run/retry/quarantine and the
+	// cache.hit/cache.join/journal.replay serve spans) for requests whose
+	// context carries a trace. Nil disables span recording at zero cost.
+	Tracer *telemetry.Tracer
+}
+
+// tracer returns the attached tracer, nil-safely.
+func (o *Observer) tracer() *telemetry.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
 }
 
 // emit forwards one event to the log.
@@ -110,6 +123,34 @@ func (o *Observer) observeRunFinish(res *Result, fp string, dur time.Duration) {
 	o.count("svf_sim_runs_total", 1)
 	o.count("svf_sim_cycles_total", res.Cycles())
 	o.count("svf_sim_insts_total", res.Pipe.Committed)
+}
+
+// serveSpan records a zero-width span for a cache request served without
+// execution, named by how it was served: journal.replay (a journal-seeded
+// entry — the restart path's provenance marker), cache.join (joined an
+// in-flight simulation) or cache.hit. No-op when tracing is off or the
+// context carries no trace.
+func (c *RunCache) serveSpan(ctx context.Context, bench, key string, shared, restored bool) {
+	tr := c.obs.tracer()
+	if tr == nil {
+		return
+	}
+	name := "cache.hit"
+	switch {
+	case restored:
+		name = "journal.replay"
+	case shared:
+		name = "cache.join"
+	}
+	sp := tr.StartSpan(telemetry.SpanFromContext(ctx), name)
+	if sp == nil {
+		return
+	}
+	sp.SetAttr("bench", bench)
+	if key != "" {
+		sp.SetAttr("key", key)
+	}
+	sp.End()
 }
 
 // serveEvent reports a cache request served without execution: a hit on a

@@ -15,11 +15,23 @@ import (
 type Event struct {
 	// TS is the wall-clock emission time, RFC3339 with nanoseconds.
 	TS string `json:"ts"`
+	// Schema is the event-log schema version, stamped by Emit. Version 2
+	// added Schema itself plus the span fields (Trace/Span/Parent/Name)
+	// and the span_end type; version-1 consumers that ignore unknown
+	// fields keep working.
+	Schema int `json:"schema,omitempty"`
 	// Type names the event: campaign_start, campaign_finish,
 	// experiment_start, experiment_finish, run_start, run_finish,
 	// run_fault, retry, backoff, cache_hit, cache_restore, latched,
-	// journal_restore, journal_flush, trace_written, interrupt.
+	// journal_restore, journal_flush, trace_written, interrupt, span_end.
 	Type string `json:"type"`
+	// Trace/Span/Parent/Name identify a completed span (span_end events).
+	// DurMS on a span_end is measured on the monotonic clock, so
+	// wall-clock steps cannot skew it.
+	Trace  string `json:"trace,omitempty"`
+	Span   string `json:"span,omitempty"`
+	Parent string `json:"parent,omitempty"`
+	Name   string `json:"name,omitempty"`
 	// Bench is the workload ID the event concerns.
 	Bench string `json:"bench,omitempty"`
 	// Fingerprint is the 16-hex run fingerprint (run_* events).
@@ -51,6 +63,9 @@ type Event struct {
 	// campaign_start, the trace path on trace_written).
 	Detail string `json:"detail,omitempty"`
 }
+
+// EventSchema is the version Emit stamps on every event.
+const EventSchema = 2
 
 // EventLog writes newline-delimited JSON events. It is safe for concurrent
 // use, and — like the Probe — nil-safe: every method on a nil *EventLog is
@@ -86,6 +101,7 @@ func (l *EventLog) Emit(ev Event) {
 		return
 	}
 	ev.TS = l.now().Format(time.RFC3339Nano)
+	ev.Schema = EventSchema
 	buf, err := json.Marshal(ev)
 	if err != nil {
 		l.err = err

@@ -53,10 +53,19 @@ func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
 // histogram safely. Bucket i counts observations <= bounds[i]; an implicit
 // +Inf bucket catches the rest (the Prometheus histogram convention).
 type Histogram struct {
-	bounds  []float64
-	buckets []atomic.Uint64 // len(bounds)+1, cumulative on render
-	count   atomic.Uint64
-	sumBits atomic.Uint64 // float64 sum, CAS-accumulated
+	bounds    []float64
+	buckets   []atomic.Uint64 // len(bounds)+1, cumulative on render
+	count     atomic.Uint64
+	sumBits   atomic.Uint64            // float64 sum, CAS-accumulated
+	exemplars []atomic.Pointer[exemplar] // last exemplar per bucket
+}
+
+// exemplar is one sampled observation annotated with its trace ID,
+// rendered in the OpenMetrics "# {trace_id=...} value" form so a scraped
+// latency bucket links back to the span tree that produced it.
+type exemplar struct {
+	traceID string
+	value   float64
 }
 
 // newHistogram builds a histogram over ascending bounds.
@@ -68,11 +77,30 @@ func newHistogram(bounds []float64) *Histogram {
 	}
 	b := make([]float64, len(bounds))
 	copy(b, bounds)
-	return &Histogram{bounds: b, buckets: make([]atomic.Uint64, len(b)+1)}
+	return &Histogram{
+		bounds:    b,
+		buckets:   make([]atomic.Uint64, len(b)+1),
+		exemplars: make([]atomic.Pointer[exemplar], len(b)+1),
+	}
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
+	h.observe(v)
+}
+
+// ObserveExemplar records one sample and, when traceID is non-empty,
+// attaches it as the bucket's exemplar (last-writer-wins; a plain atomic
+// store, so the hot path stays lock-free).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := h.observe(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&exemplar{traceID: traceID, value: v})
+	}
+}
+
+// observe records v and returns the bucket index it landed in.
+func (h *Histogram) observe(v float64) int {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.buckets[i].Add(1)
 	h.count.Add(1)
@@ -80,7 +108,7 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sumBits.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sumBits.CompareAndSwap(old, next) {
-			return
+			return i
 		}
 	}
 }
@@ -257,15 +285,26 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			pre = labels + ","
 		}
 		h := hists[name]
+		// Exemplars render in the OpenMetrics form appended to the bucket
+		// line: `... # {trace_id="..."} <value>`.
+		exemplarSuffix := func(i int) string {
+			if i >= len(h.exemplars) {
+				return ""
+			}
+			if e := h.exemplars[i].Load(); e != nil {
+				return fmt.Sprintf(" # {trace_id=\"%s\"} %v", e.traceID, e.value)
+			}
+			return ""
+		}
 		var cum uint64
 		for i, bound := range h.bounds {
 			cum += h.buckets[i].Load()
-			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%v\"} %d\n", base, pre, bound, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"%v\"} %d%s\n", base, pre, bound, cum, exemplarSuffix(i)); err != nil {
 				return err
 			}
 		}
 		cum += h.buckets[len(h.bounds)].Load()
-		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", base, pre, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d%s\n", base, pre, cum, exemplarSuffix(len(h.bounds))); err != nil {
 			return err
 		}
 		suffix := ""
