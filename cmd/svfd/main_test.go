@@ -441,8 +441,14 @@ func TestTraceKillResume(t *testing.T) {
 	}
 
 	// The latency histograms are exposed with exemplars on the service's
-	// own /metrics endpoint.
-	resp, err := http.Get(d2.url("/metrics"))
+	// own /metrics endpoint when scraped as OpenMetrics (exemplars are not
+	// part of the classic text format).
+	req, err := http.NewRequest("GET", d2.url("/metrics"), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -197,7 +197,13 @@ func run() int {
 		// lease/worker spans and the event log carries span_end records.
 		tracer = telemetry.NewTracer()
 		tracer.SetEvents(events)
-		campaignTrace := telemetry.MintTraceID("svf-campaign|" + strings.Join(os.Args[1:], " "))
+		// Unlike job traces (minted from the content fingerprint so journal
+		// replay continues the same trace), a campaign trace has nothing to
+		// resume — mint it per run, mixing in PID and start time, so
+		// re-running the identical command line does not conflate two runs'
+		// span_end events under one trace ID in an appended events log.
+		campaignTrace := telemetry.MintTraceID(fmt.Sprintf(
+			"svf-campaign|%d|%d|%s", os.Getpid(), suiteTime.UnixNano(), strings.Join(os.Args[1:], " ")))
 		campaignSpan = tracer.StartSpan(telemetry.SpanContext{Trace: campaignTrace}, "campaign")
 		ctx = telemetry.ContextWithSpan(ctx, campaignSpan.Context())
 	}

@@ -306,6 +306,5 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_ = s.cfg.Registry.WritePrometheus(w)
+	telemetry.ServeMetrics(w, r, s.cfg.Registry)
 }

@@ -188,8 +188,15 @@ func TestChaosTraceWorkerKillRetrySpans(t *testing.T) {
 		t.Error("rendered trace omits the retry span")
 	}
 
-	// The latency histograms surfaced with exemplars pointing at this trace.
-	mresp, err := http.Get(ts.URL + "/metrics")
+	// The latency histograms surfaced with exemplars pointing at this
+	// trace — exemplars ride the OpenMetrics exposition, so scrape like a
+	// modern Prometheus does, with an openmetrics-text Accept header.
+	mreq, err := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mreq.Header.Set("Accept", "application/openmetrics-text; version=1.0.0")
+	mresp, err := http.DefaultClient.Do(mreq)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,6 +209,21 @@ func TestChaosTraceWorkerKillRetrySpans(t *testing.T) {
 	}
 	if !bytes.Contains(metrics, []byte(`trace_id="`+trace+`"`)) {
 		t.Errorf("/metrics has no exemplar for trace %s", trace)
+	}
+
+	// A plain scrape (no Accept header) must stay valid classic 0.0.4
+	// text: no exemplar syntax, no OpenMetrics EOF marker.
+	presp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, _ := io.ReadAll(presp.Body)
+	presp.Body.Close()
+	if ct := presp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("plain scrape Content-Type = %q", ct)
+	}
+	if bytes.Contains(plain, []byte("# {")) || bytes.Contains(plain, []byte("# EOF")) {
+		t.Error("classic /metrics scrape contains OpenMetrics-only syntax")
 	}
 }
 

@@ -5,7 +5,30 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strings"
 )
+
+// ServeMetrics writes reg to w in the exposition format negotiated from
+// the request's Accept header: application/openmetrics-text (bucket
+// exemplars, trailing "# EOF") when the client offers it — the Prometheus
+// server has sent that Accept value since 2.5 — and the classic
+// text/plain; version=0.0.4 format (no exemplars; they are invalid there)
+// otherwise. Both /metrics endpoints (this package's Server and the
+// service daemon's) route through here so the negotiation stays in one
+// place.
+func ServeMetrics(w http.ResponseWriter, r *http.Request, reg *Registry) {
+	// A substring match is deliberate: real Accept headers list several
+	// media types with q-weights ("application/openmetrics-text;
+	// version=1.0.0,text/plain;version=0.0.4;q=0.5,*/*;q=0.1") and any
+	// client naming openmetrics-text at all can parse that format.
+	if strings.Contains(r.Header.Get("Accept"), "application/openmetrics-text") {
+		w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+		_ = reg.WriteOpenMetrics(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = reg.WritePrometheus(w)
+}
 
 // Server is the optional live-observation endpoint: Prometheus-text
 // /metrics from a Registry, JSON /progress from a Progress tracker, and
@@ -21,9 +44,8 @@ type Server struct {
 // Handler returns the observation mux.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-		_ = s.Registry.WritePrometheus(w)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		ServeMetrics(w, r, s.Registry)
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -213,9 +213,34 @@ func splitLabels(name string) (base, labels string) {
 	return name[:i], name[i+1 : len(name)-1]
 }
 
-// WritePrometheus renders every registered metric in the Prometheus text
-// exposition format, sorted by name for stable output.
+// WritePrometheus renders every registered metric in the classic
+// Prometheus text exposition format (text/plain; version=0.0.4), sorted by
+// name for stable output. Exemplars are suppressed: they are not part of
+// the classic format and a stock scraper rejects the whole scrape on one.
+// Use WriteOpenMetrics when the client negotiated
+// application/openmetrics-text.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.writeMetrics(w, false)
+}
+
+// WriteOpenMetrics renders every registered metric in the OpenMetrics
+// text exposition format: histogram bucket lines carry their recorded
+// exemplars ("# {trace_id=...} value"), counter families whose name ends
+// in _total declare the suffix-stripped family name in their metadata (as
+// the spec requires), and the document is terminated by "# EOF".
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	if err := r.writeMetrics(w, true); err != nil {
+		return err
+	}
+	if r == nil {
+		return nil
+	}
+	_, err := io.WriteString(w, "# EOF\n")
+	return err
+}
+
+// writeMetrics is the shared renderer behind both exposition formats.
+func (r *Registry) writeMetrics(w io.Writer, openMetrics bool) error {
 	if r == nil {
 		return nil
 	}
@@ -242,22 +267,29 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	// when several labeled series share it; sorted order keeps a family's
 	// series adjacent, headered keeps the dedup exact regardless.
 	headered := map[string]bool{}
-	emitHeader := func(base, typ string) error {
+	// family is the name declared in HELP/TYPE metadata; it differs from
+	// base only for OpenMetrics counters, whose _total sample suffix is
+	// stripped from the family name per the spec.
+	emitHeader := func(base, family, typ string) error {
 		if headered[base] {
 			return nil
 		}
 		headered[base] = true
 		if h, ok := help[base]; ok {
-			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", base, h); err != nil {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, h); err != nil {
 				return err
 			}
 		}
-		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, typ)
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, typ)
 		return err
 	}
 	for _, name := range sortedKeys(counters) {
 		base, _ := splitLabels(name)
-		if err := emitHeader(base, "counter"); err != nil {
+		family := base
+		if openMetrics {
+			family = strings.TrimSuffix(base, "_total")
+		}
+		if err := emitHeader(base, family, "counter"); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %d\n", name, counters[name].Load()); err != nil {
@@ -266,7 +298,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(gauges) {
 		base, _ := splitLabels(name)
-		if err := emitHeader(base, "gauge"); err != nil {
+		if err := emitHeader(base, base, "gauge"); err != nil {
 			return err
 		}
 		if _, err := fmt.Fprintf(w, "%s %v\n", name, gauges[name].Load()); err != nil {
@@ -275,7 +307,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	for _, name := range sortedKeys(hists) {
 		base, labels := splitLabels(name)
-		if err := emitHeader(base, "histogram"); err != nil {
+		if err := emitHeader(base, base, "histogram"); err != nil {
 			return err
 		}
 		// A labeled histogram merges its labels into each sample's label
@@ -286,9 +318,11 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		}
 		h := hists[name]
 		// Exemplars render in the OpenMetrics form appended to the bucket
-		// line: `... # {trace_id="..."} <value>`.
+		// line: `... # {trace_id="..."} <value>`. They exist only in the
+		// OpenMetrics exposition — the classic 0.0.4 format has no exemplar
+		// syntax and a scraper would reject the whole scrape.
 		exemplarSuffix := func(i int) string {
-			if i >= len(h.exemplars) {
+			if !openMetrics || i >= len(h.exemplars) {
 				return ""
 			}
 			if e := h.exemplars[i].Load(); e != nil {

@@ -129,6 +129,12 @@ type Span struct {
 // spans are counted as dropped rather than growing without bound.
 const DefaultMaxSpansPerTrace = 16384
 
+// DefaultMaxTraces bounds how many distinct traces the tracer retains.
+// Without it a long-running daemon would leak every job's span tree
+// forever; with it the tracer is a bounded cache of the most recently
+// active traces, evicted least-recently-recorded first.
+const DefaultMaxTraces = 512
+
 // Tracer records completed spans per trace. All methods are safe for
 // concurrent use and nil-safe: a nil *Tracer disables tracing at zero
 // cost.
@@ -137,19 +143,33 @@ type Tracer struct {
 	// DefaultMaxSpansPerTrace). Set before the first span.
 	MaxSpansPerTrace int
 
+	// MaxTraces caps how many distinct traces are retained (0 selects
+	// DefaultMaxTraces). Recording a span for a new trace beyond the cap
+	// evicts the least-recently-recorded trace wholesale; evictions are
+	// counted (EvictedTraces), mirroring the per-trace span cap. Set
+	// before the first span.
+	MaxTraces int
+
 	epoch time.Time
 	seq   atomic.Uint64
 
 	mu      sync.Mutex
 	spans   map[string][]Span
+	lastUse map[string]uint64 // per-trace recency stamp for eviction
+	useSeq  uint64
 	dropped uint64
+	evicted uint64
 	events  *EventLog
 }
 
 // NewTracer returns an empty tracer anchored at the current monotonic
 // instant.
 func NewTracer() *Tracer {
-	return &Tracer{epoch: time.Now(), spans: map[string][]Span{}}
+	return &Tracer{
+		epoch:   time.Now(),
+		spans:   map[string][]Span{},
+		lastUse: map[string]uint64{},
+	}
 }
 
 // SetEvents mirrors every span completion into l as a span_end event
@@ -226,6 +246,16 @@ func (s *ActiveSpan) End() {
 	}
 	s.mu.Lock()
 	sp := s.span
+	// The struct copy above still aliases the Attrs map; clone it under
+	// the lock so a SetAttr racing with (or misused after) End cannot
+	// mutate the map the tracer stored and later renders unsynchronised.
+	if len(sp.Attrs) > 0 {
+		attrs := make(map[string]string, len(sp.Attrs))
+		for k, v := range sp.Attrs {
+			attrs[k] = v
+		}
+		sp.Attrs = attrs
+	}
 	s.mu.Unlock()
 	end := s.t.sinceUS()
 	if end < sp.StartUS {
@@ -235,13 +265,25 @@ func (s *ActiveSpan) End() {
 	s.t.record(sp)
 }
 
-// record appends one completed span under its trace's cap.
+// record appends one completed span under its trace's cap, evicting the
+// least-recently-recorded trace when the trace cap would be exceeded.
 func (t *Tracer) record(sp Span) {
 	t.mu.Lock()
 	limit := t.MaxSpansPerTrace
 	if limit <= 0 {
 		limit = DefaultMaxSpansPerTrace
 	}
+	if _, ok := t.spans[sp.Trace]; !ok {
+		max := t.MaxTraces
+		if max <= 0 {
+			max = DefaultMaxTraces
+		}
+		for len(t.spans) >= max {
+			t.evictOldestLocked()
+		}
+	}
+	t.useSeq++
+	t.lastUse[sp.Trace] = t.useSeq
 	var events *EventLog
 	if len(t.spans[sp.Trace]) >= limit {
 		t.dropped++
@@ -258,6 +300,23 @@ func (t *Tracer) record(sp Span) {
 	}
 }
 
+// evictOldestLocked removes the trace with the smallest recency stamp.
+// Callers hold t.mu. A linear scan is fine at the cap's scale (hundreds).
+func (t *Tracer) evictOldestLocked() {
+	oldest, oldestUse := "", uint64(0)
+	for trace, use := range t.lastUse {
+		if oldest == "" || use < oldestUse {
+			oldest, oldestUse = trace, use
+		}
+	}
+	if oldest == "" {
+		return
+	}
+	delete(t.spans, oldest)
+	delete(t.lastUse, oldest)
+	t.evicted++
+}
+
 // Dropped returns how many spans the per-trace cap rejected.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
@@ -266,6 +325,16 @@ func (t *Tracer) Dropped() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// EvictedTraces returns how many whole traces the MaxTraces cap evicted.
+func (t *Tracer) EvictedTraces() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
 }
 
 // Spans returns the trace's completed spans in deterministic order:
@@ -277,6 +346,12 @@ func (t *Tracer) Spans(trace string) []Span {
 	}
 	t.mu.Lock()
 	out := append([]Span(nil), t.spans[trace]...)
+	if _, ok := t.spans[trace]; ok {
+		// Reading a trace refreshes it against MaxTraces eviction, so a
+		// trace being watched stays resident while idle ones age out.
+		t.useSeq++
+		t.lastUse[trace] = t.useSeq
+	}
 	t.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]

@@ -4,6 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 	"time"
@@ -204,6 +207,58 @@ func TestTracerSpanCap(t *testing.T) {
 	}
 }
 
+// TestTracerTraceCap: the tracer retains at most MaxTraces traces,
+// evicting the least-recently-recorded one, so a long-running daemon's
+// span memory is bounded across jobs, not just within one.
+func TestTracerTraceCap(t *testing.T) {
+	tr := NewTracer()
+	tr.MaxTraces = 2
+	a, b, c := MintTraceID("a"), MintTraceID("b"), MintTraceID("c")
+	tr.StartSpan(SpanContext{Trace: a}, "job").End()
+	tr.StartSpan(SpanContext{Trace: b}, "job").End()
+	// Touch a again so b is the least recently recorded, then overflow.
+	tr.StartSpan(SpanContext{Trace: a}, "cell").End()
+	tr.StartSpan(SpanContext{Trace: c}, "job").End()
+
+	if got := len(tr.Spans(b)); got != 0 {
+		t.Errorf("evicted trace still has %d spans", got)
+	}
+	if got := len(tr.Spans(a)); got != 2 {
+		t.Errorf("recently used trace has %d spans, want 2", got)
+	}
+	if got := len(tr.Spans(c)); got != 1 {
+		t.Errorf("new trace has %d spans, want 1", got)
+	}
+	if tr.EvictedTraces() != 1 {
+		t.Errorf("evicted = %d, want 1", tr.EvictedTraces())
+	}
+	// Reading a trace refreshes it: after fetching a, overflowing again
+	// must evict c (least recently touched), not a.
+	_ = tr.Spans(a)
+	tr.StartSpan(SpanContext{Trace: MintTraceID("d")}, "job").End()
+	if got := len(tr.Spans(a)); got != 2 {
+		t.Errorf("refreshed trace was evicted (has %d spans)", got)
+	}
+	if got := len(tr.Spans(c)); got != 0 {
+		t.Errorf("stale trace survived eviction with %d spans", got)
+	}
+}
+
+// TestSetAttrAfterEnd: End publishes a snapshot — a (contract-violating)
+// SetAttr after End must not mutate what the tracer recorded.
+func TestSetAttrAfterEnd(t *testing.T) {
+	tr := NewTracer()
+	trace := MintTraceID("attrs")
+	sp := tr.StartSpan(SpanContext{Trace: trace}, "job")
+	sp.SetAttr("outcome", "ok")
+	sp.End()
+	sp.SetAttr("outcome", "mutated")
+	spans := tr.Spans(trace)
+	if len(spans) != 1 || spans[0].Attrs["outcome"] != "ok" {
+		t.Errorf("recorded span attrs mutated after End: %+v", spans)
+	}
+}
+
 // TestWriteTraceDeterministic: rendering the same trace twice yields
 // identical bytes, every event is well-formed, and lanes carry names.
 func TestWriteTraceDeterministic(t *testing.T) {
@@ -279,25 +334,102 @@ func TestHistogramExemplars(t *testing.T) {
 	h := r.Histogram("svf_cell_run_seconds", SecondsBuckets...)
 	h.ObserveExemplar(0.003, "deadbeefdeadbeef")
 	h.Observe(0.004) // no exemplar; must not disturb the recorded one
+
+	// Exemplars belong to the OpenMetrics exposition, which also ends in
+	// the mandatory # EOF terminator.
 	var buf bytes.Buffer
-	if err := r.WritePrometheus(&buf); err != nil {
+	if err := r.WriteOpenMetrics(&buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	if !strings.Contains(out, `# {trace_id="deadbeefdeadbeef"} 0.003`) {
-		t.Errorf("no exemplar in exposition:\n%s", out)
+		t.Errorf("no exemplar in OpenMetrics exposition:\n%s", out)
 	}
 	if !strings.Contains(out, "svf_cell_run_seconds_count 2") {
 		t.Errorf("count wrong:\n%s", out)
 	}
-	// Empty trace IDs never record exemplars.
-	h2 := r.Histogram("svf_other_seconds", SecondsBuckets...)
-	h2.ObserveExemplar(0.1, "")
+	if !strings.HasSuffix(out, "# EOF\n") {
+		t.Errorf("OpenMetrics exposition not terminated by # EOF:\n%s", out)
+	}
+
+	// The classic 0.0.4 format has no exemplar syntax — a stock scraper
+	// rejects the scrape on one — so WritePrometheus must suppress them.
 	buf.Reset()
 	if err := r.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
 	}
+	classic := buf.String()
+	if strings.Contains(classic, "# {") {
+		t.Errorf("classic exposition leaks exemplar syntax:\n%s", classic)
+	}
+	if strings.Contains(classic, "# EOF") {
+		t.Errorf("classic exposition has an OpenMetrics EOF marker:\n%s", classic)
+	}
+	if !strings.Contains(classic, "svf_cell_run_seconds_count 2") {
+		t.Errorf("count wrong:\n%s", classic)
+	}
+
+	// Empty trace IDs never record exemplars.
+	h2 := r.Histogram("svf_other_seconds", SecondsBuckets...)
+	h2.ObserveExemplar(0.1, "")
+	buf.Reset()
+	if err := r.WriteOpenMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
 	if strings.Contains(buf.String(), `svf_other_seconds_bucket{le="0.1"} 1 #`) {
 		t.Error("empty trace ID recorded an exemplar")
+	}
+}
+
+// TestServeMetricsNegotiation: /metrics serves classic text by default and
+// OpenMetrics (exemplars + # EOF) only when the Accept header asks for it.
+func TestServeMetricsNegotiation(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("svf_things_total").Inc()
+	h := r.Histogram("svf_cell_run_seconds", SecondsBuckets...)
+	h.ObserveExemplar(0.003, "deadbeefdeadbeef")
+	srv := &Server{Registry: r}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(accept string) (string, string) {
+		req, err := http.NewRequest("GET", ts.URL+"/metrics", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.Header.Get("Content-Type"), string(body)
+	}
+
+	ct, body := get("") // a stock text-format scraper sends no special Accept
+	if !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("default Content-Type = %q, want classic text format", ct)
+	}
+	if strings.Contains(body, "# {") || strings.Contains(body, "# EOF") {
+		t.Errorf("classic scrape contains OpenMetrics syntax:\n%s", body)
+	}
+
+	// Prometheus ≥2.5 sends a q-weighted list naming openmetrics-text.
+	ct, body = get("application/openmetrics-text; version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	if !strings.Contains(ct, "application/openmetrics-text") {
+		t.Errorf("negotiated Content-Type = %q, want openmetrics-text", ct)
+	}
+	if !strings.Contains(body, `# {trace_id="deadbeefdeadbeef"} 0.003`) {
+		t.Errorf("OpenMetrics scrape lost the exemplar:\n%s", body)
+	}
+	if !strings.HasSuffix(body, "# EOF\n") {
+		t.Errorf("OpenMetrics scrape missing # EOF:\n%s", body)
+	}
+	// Counter metadata drops the _total suffix in OpenMetrics only.
+	if !strings.Contains(body, "# TYPE svf_things counter") || !strings.Contains(body, "svf_things_total 1") {
+		t.Errorf("OpenMetrics counter family not suffix-stripped:\n%s", body)
 	}
 }
